@@ -1,0 +1,65 @@
+// Minimal command-line parsing shared by the figure-reproduction
+// binaries: every bench accepts `--flag=value` overrides for its
+// Monte-Carlo scale so the paper's full configuration stays one flag
+// away from the fast default.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace urmem::bench {
+
+/// Parsed `--key=value` arguments.
+class arg_parser {
+ public:
+  arg_parser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  /// Value of `--name=...` as uint64, or `fallback` when absent.
+  [[nodiscard]] std::uint64_t get_u64(std::string_view name,
+                                      std::uint64_t fallback) const {
+    const std::string value = raw(name);
+    return value.empty() ? fallback : std::strtoull(value.c_str(), nullptr, 10);
+  }
+
+  /// Value of `--name=...` as double, or `fallback` when absent.
+  [[nodiscard]] double get_double(std::string_view name, double fallback) const {
+    const std::string value = raw(name);
+    return value.empty() ? fallback : std::strtod(value.c_str(), nullptr);
+  }
+
+  /// True when `--name` (with or without value) is present.
+  [[nodiscard]] bool has(std::string_view name) const {
+    const std::string plain = "--" + std::string(name);
+    for (const auto& arg : args_) {
+      if (arg == plain || arg.starts_with(plain + "=")) return true;
+    }
+    return false;
+  }
+
+ private:
+  [[nodiscard]] std::string raw(std::string_view name) const {
+    const std::string prefix = "--" + std::string(name) + "=";
+    for (const auto& arg : args_) {
+      if (arg.starts_with(prefix)) return arg.substr(prefix.size());
+    }
+    return {};
+  }
+
+  std::vector<std::string> args_;
+};
+
+/// Prints the standard bench banner.
+inline void banner(std::string_view title, std::string_view paper_ref) {
+  std::cout << "=====================================================================\n"
+            << title << "\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "=====================================================================\n\n";
+}
+
+}  // namespace urmem::bench

@@ -1,0 +1,102 @@
+// Fig. 5 reproduction: CDF of the memory MSE (Eq. 6) for a 16 KB array
+// at Pcell = 5e-6, comparing no protection, bit-shuffling with
+// nFM = 1..5, and the H(22,16) P-ECC — the stratified Monte-Carlo sweep
+// of Sec. 4 with samples per failure count = Pr(N = n) * Trun.
+//
+// Flags:
+//   --runs=N    total Monte-Carlo runs Trun   (default 1e7, the paper value)
+//   --pcell=P   cell failure probability      (default 5e-6)
+//   --nmax=N    largest failure-count stratum (default 150)
+//   --analytic  closed-form convolution mixture instead of Monte Carlo
+//               (milliseconds instead of seconds; see yield/analytic.hpp)
+//   --seed=S
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "urmem/common/table.hpp"
+#include "urmem/scheme/protection_scheme.hpp"
+#include "urmem/yield/analytic.hpp"
+#include "urmem/yield/mse_distribution.hpp"
+
+int main(int argc, char** argv) {
+  using namespace urmem;
+  const bench::arg_parser args(argc, argv);
+  bench::banner("Fig. 5 — CDF of memory MSE under fault injection",
+                "Ganapathy et al., DAC'15, Fig. 5 / Sec. 4");
+
+  mse_cdf_config config;
+  config.total_runs = args.get_u64("runs", 10'000'000);
+  config.n_max = args.get_u64("nmax", 150);
+  config.seed = args.get_u64("seed", 42);
+  const double pcell = args.get_double("pcell", 5e-6);
+  const std::uint32_t rows = 4096;
+
+  std::cout << "16KB memory (4096 x 32), Pcell = " << format_scientific(pcell, 2)
+            << ", Trun = " << config.total_runs
+            << ", failure counts 1.." << config.n_max
+            << " (CDF conditional on N >= 1, per Eq. 5)\n\n";
+
+  std::vector<std::unique_ptr<protection_scheme>> schemes;
+  schemes.push_back(make_scheme_none());
+  for (unsigned n_fm = 1; n_fm <= 5; ++n_fm) {
+    schemes.push_back(make_scheme_shuffle(rows, 32, n_fm));
+  }
+  schemes.push_back(make_scheme_pecc());
+
+  const bool analytic = args.has("analytic");
+  std::vector<empirical_cdf> cdfs;
+  for (const auto& scheme : schemes) {
+    if (analytic) {
+      std::cerr << "  convolving " << scheme->name() << "...\n";
+      analytic_cdf_config acfg;
+      acfg.n_max = std::min<std::uint64_t>(config.n_max, 40);
+      cdfs.push_back(analytic_mse_cdf(*scheme, rows, pcell, acfg));
+    } else {
+      std::cerr << "  sampling " << scheme->name() << "...\n";
+      cdfs.push_back(compute_mse_cdf(*scheme, rows, pcell, config));
+    }
+  }
+
+  // The paper's x-axis: MSE from 1e-4 to 1e8.
+  std::vector<std::string> headers{"MSE <="};
+  for (const auto& scheme : schemes) headers.push_back(scheme->name());
+  console_table table(headers);
+  for (const double mse : logspace(1e-4, 1e8, 25)) {
+    std::vector<std::string> row{format_scientific(mse, 1)};
+    for (const auto& cdf : cdfs) row.push_back(format_double(cdf.at(mse), 4));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nMSE budget required per yield target (quantiles):\n";
+  console_table quantiles({"scheme", "yield 50%", "yield 90%", "yield 99%",
+                           "yield 99.99%"});
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    quantiles.add_row({schemes[i]->name(),
+                       format_scientific(mse_for_yield(cdfs[i], 0.50), 2),
+                       format_scientific(mse_for_yield(cdfs[i], 0.90), 2),
+                       format_scientific(mse_for_yield(cdfs[i], 0.99), 2),
+                       format_scientific(mse_for_yield(cdfs[i], 0.9999), 2)});
+  }
+  quantiles.print(std::cout);
+
+  std::cout << "\nPaper headline checks:\n";
+  console_table claims({"claim", "paper", "measured"});
+  const double reduction =
+      mse_for_yield(cdfs[0], 0.99) / mse_for_yield(cdfs[1], 0.99);
+  claims.add_row({"MSE reduction @ matched yield, nFM=1 vs none", ">= 30x",
+                  format_double(reduction, 3) + "x"});
+  claims.add_row({"yield @ MSE < 1e6, nFM=1", "99.9999%",
+                  format_percent(yield_at_mse(cdfs[1], 1e6), 4)});
+  claims.add_row({"yield @ MSE < 1e6, no correction", "<6%  (see EXPERIMENTS.md)",
+                  format_percent(yield_at_mse(cdfs[0], 1e6), 1)});
+  claims.add_row({"nFM=2..5 beat P-ECC @ yield 99%",
+                  "yes",
+                  mse_for_yield(cdfs[2], 0.99) < mse_for_yield(cdfs[6], 0.99)
+                      ? "yes"
+                      : "no"});
+  claims.print(std::cout);
+  return 0;
+}

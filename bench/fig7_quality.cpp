@@ -1,0 +1,99 @@
+// Fig. 7 reproduction: CDF of the application quality metric for the
+// three Table 1 benchmarks on a 16 KB memory with Pcell = 1e-3, under
+// i) no protection, ii) H(22,16) P-ECC, iii) bit-shuffling with nFM=1,
+// and iv) bit-shuffling with nFM=2.
+//
+// The paper draws 500 Monte-Carlo fault maps per failure count
+// N = 1..Nmax (99% coverage). The default here is scaled down for a
+// laptop run; restore the paper's scale with --paper-scale.
+//
+// Flags:
+//   --samples=N      fault maps per failure count (default 10)
+//   --paper-scale    shorthand for --samples=500
+//   --pcell=P        cell failure probability (default 1e-3)
+//   --apps=a,b       subset: elasticnet, pca, knn (default all)
+//   --seed=S
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "urmem/common/table.hpp"
+#include "urmem/sim/applications.hpp"
+#include "urmem/sim/quality_experiment.hpp"
+
+namespace {
+
+using namespace urmem;
+
+struct scheme_spec {
+  std::string name;
+  scheme_factory factory;
+};
+
+std::vector<scheme_spec> fig7_schemes() {
+  return {
+      {"no-correction", [](std::uint32_t) { return make_scheme_none(); }},
+      {"H(22,16) P-ECC", [](std::uint32_t) { return make_scheme_pecc(); }},
+      {"nFM=1", [](std::uint32_t rows) { return make_scheme_shuffle(rows, 32, 1); }},
+      {"nFM=2", [](std::uint32_t rows) { return make_scheme_shuffle(rows, 32, 2); }},
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::arg_parser args(argc, argv);
+  bench::banner("Fig. 7 — CDF of application quality under memory failures",
+                "Ganapathy et al., DAC'15, Fig. 7 / Sec. 5.2");
+
+  quality_experiment_config config;
+  config.pcell = args.get_double("pcell", 1e-3);
+  config.samples_per_count = static_cast<std::uint32_t>(
+      args.has("paper-scale") ? 500 : args.get_u64("samples", 10));
+  config.seed = args.get_u64("seed", 99);
+
+  std::cout << "16KB tiles, Pcell = " << format_scientific(config.pcell, 2)
+            << ", Nmax (99% coverage) = " << failure_count_limit(config)
+            << ", samples per failure count = " << config.samples_per_count
+            << "\n(H(39,32) ECC is the paper's error-free reference: samples "
+               "with >1 error per word are discarded there, normalized "
+               "metric = 1.0 by construction.)\n\n";
+
+  for (const auto& app : make_all_applications(args.get_u64("app-seed", 7))) {
+    std::cout << "--- " << app->name() << " (" << app->dataset_name()
+              << ", metric: " << app->metric_name() << ") ---\n";
+
+    std::vector<quality_result> results;
+    for (const auto& spec : fig7_schemes()) {
+      std::cerr << "  running " << app->name() << " / " << spec.name << "...\n";
+      results.push_back(
+          run_quality_experiment(*app, spec.factory, spec.name, config));
+    }
+
+    std::cout << "clean (quantized) metric = "
+              << format_double(results.front().clean_metric, 4) << "\n\n";
+
+    // The paper's y-axis: CDF over the normalized metric grid.
+    std::vector<std::string> headers{"normalized metric <="};
+    for (const auto& r : results) headers.push_back(r.scheme_name);
+    console_table table(headers);
+    for (const double q : linspace(0.0, 1.0, 21)) {
+      std::vector<std::string> row{format_double(q, 3)};
+      for (const auto& r : results) row.push_back(format_double(r.cdf.at(q), 4));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nLow quantiles (quality floor) per scheme:\n";
+    console_table quantiles({"scheme", "q01", "q10", "q50"});
+    for (const auto& r : results) {
+      quantiles.add_row({r.scheme_name, format_double(r.cdf.quantile(0.01), 4),
+                         format_double(r.cdf.quantile(0.10), 4),
+                         format_double(r.cdf.quantile(0.50), 4)});
+    }
+    quantiles.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Micro-benchmarks (google-benchmark): throughput of the protection
+// codecs — the software cost of each scheme's encode/decode path, which
+// dominates the Monte-Carlo experiment runtimes.
+#include <benchmark/benchmark.h>
+
+#include "urmem/common/rng.hpp"
+#include "urmem/ecc/hamming_secded.hpp"
+#include "urmem/ecc/priority_ecc.hpp"
+#include "urmem/shuffle/bit_shuffler.hpp"
+
+namespace {
+
+using namespace urmem;
+
+void bm_secded_encode(benchmark::State& state) {
+  const hamming_secded code(static_cast<unsigned>(state.range(0)));
+  rng gen(1);
+  word_t data = gen() & word_mask(code.data_bits());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(data));
+    data = (data * 0x9e3779b97f4a7c15ULL + 1) & word_mask(code.data_bits());
+  }
+}
+BENCHMARK(bm_secded_encode)->Arg(8)->Arg(16)->Arg(32)->Arg(57);
+
+void bm_secded_decode_clean(benchmark::State& state) {
+  const hamming_secded code(static_cast<unsigned>(state.range(0)));
+  rng gen(2);
+  const word_t cw = code.encode(gen() & word_mask(code.data_bits()));
+  for (auto _ : state) benchmark::DoNotOptimize(code.decode(cw));
+}
+BENCHMARK(bm_secded_decode_clean)->Arg(16)->Arg(32);
+
+void bm_secded_decode_correcting(benchmark::State& state) {
+  const hamming_secded code(32);
+  rng gen(3);
+  const word_t cw = code.encode(gen() & word_mask(32));
+  unsigned pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(flip_bit(cw, pos)));
+    pos = (pos + 1) % code.codeword_bits();
+  }
+}
+BENCHMARK(bm_secded_decode_correcting);
+
+void bm_pecc_roundtrip(benchmark::State& state) {
+  const priority_ecc codec;
+  rng gen(4);
+  word_t data = gen() & word_mask(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(codec.encode(data)));
+    data = (data * 0x9e3779b97f4a7c15ULL + 1) & word_mask(32);
+  }
+}
+BENCHMARK(bm_pecc_roundtrip);
+
+void bm_shuffle_roundtrip(benchmark::State& state) {
+  const bit_shuffler shuffler(32, static_cast<unsigned>(state.range(0)));
+  rng gen(5);
+  word_t data = gen() & word_mask(32);
+  unsigned xfm = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shuffler.restore(shuffler.apply(data, xfm), xfm));
+    xfm = (xfm + 1) % shuffler.segment_count();
+    data = (data * 0x9e3779b97f4a7c15ULL + 1) & word_mask(32);
+  }
+}
+BENCHMARK(bm_shuffle_roundtrip)->Arg(1)->Arg(3)->Arg(5);
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Micro-benchmarks (google-benchmark): the memory substrate — fault-map
+// corruption, fault sampling, BIST sweeps, and the Eq. 6 MSE sampler
+// that Fig. 5's 1e7-run Monte Carlo leans on.
+#include <benchmark/benchmark.h>
+
+#include "urmem/bist/bist_engine.hpp"
+#include "urmem/memory/cell_failure_model.hpp"
+#include "urmem/memory/fault_sampler.hpp"
+#include "urmem/memory/sram_array.hpp"
+#include "urmem/scheme/protection_scheme.hpp"
+#include "urmem/yield/mse_distribution.hpp"
+
+namespace {
+
+using namespace urmem;
+
+void bm_faulty_read(benchmark::State& state) {
+  rng gen(1);
+  const fault_map faults =
+      sample_fault_map_exact(geometry_16kb_x32(), 150, gen);
+  sram_array array(faults);
+  array.fill(0xA5A5A5A5ULL);
+  std::uint32_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.read(row));
+    row = (row + 1) & 4095;
+  }
+}
+BENCHMARK(bm_faulty_read);
+
+void bm_sample_fault_map(benchmark::State& state) {
+  rng gen(2);
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_fault_map_exact(geometry_16kb_x32(), n, gen));
+  }
+}
+BENCHMARK(bm_sample_fault_map)->Arg(1)->Arg(10)->Arg(150);
+
+void bm_voltage_fault_enumeration(benchmark::State& state) {
+  const auto model = cell_failure_model::default_28nm();
+  const array_geometry geometry{512, 32};
+  const double vdd = model.vdd_for_pcell(1e-3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.faults_at_voltage(geometry, vdd));
+  }
+}
+BENCHMARK(bm_voltage_fault_enumeration);
+
+void bm_bist_march(benchmark::State& state) {
+  rng gen(3);
+  const array_geometry geometry{1024, 32};
+  sram_array array(sample_fault_map_exact(geometry, 20, gen));
+  const bist_engine engine(state.range(0) == 0 ? mats_plus() : march_c_minus());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(array));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(bm_bist_march)->Arg(0)->Arg(1);
+
+void bm_mse_cdf_sampling(benchmark::State& state) {
+  const auto scheme = make_scheme_shuffle(4096, 32, 2);
+  mse_cdf_config config;
+  config.total_runs = 20'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_mse_cdf(*scheme, 4096, 5e-6, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(bm_mse_cdf_sampling);
+
+}  // namespace

@@ -1,0 +1,36 @@
+// Micro-benchmarks (google-benchmark): the three benchmark algorithms
+// at their Fig. 7 problem sizes — one iteration of the quality
+// experiment costs one fit+score of each.
+#include <benchmark/benchmark.h>
+
+#include "urmem/sim/applications.hpp"
+#include "urmem/sim/memory_pipeline.hpp"
+
+namespace {
+
+using namespace urmem;
+
+void bm_app_evaluate(benchmark::State& state) {
+  const auto apps = make_all_applications();
+  const auto& app = apps[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app->evaluate(app->train_features()));
+  }
+  state.SetLabel(app->name());
+}
+BENCHMARK(bm_app_evaluate)->Arg(0)->Arg(1)->Arg(2);
+
+void bm_store_and_readback(benchmark::State& state) {
+  const auto app = make_elasticnet_app();
+  rng gen(1);
+  const fault_injector inject = exact_fault_injector(131);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store_and_readback(
+        app->train_features(), storage_config{},
+        [](std::uint32_t rows) { return make_scheme_shuffle(rows, 32, 2); },
+        inject, gen));
+  }
+}
+BENCHMARK(bm_store_and_readback);
+
+}  // namespace

@@ -1,0 +1,50 @@
+// Table 1 reproduction: the evaluation applications, their (synthetic
+// stand-in) datasets, and quality metrics — plus the fault-free metric
+// value each pipeline achieves through the quantized storage path.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "urmem/common/table.hpp"
+#include "urmem/sim/applications.hpp"
+#include "urmem/sim/quantizer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace urmem;
+  const bench::arg_parser args(argc, argv);
+  bench::banner("Table 1 — evaluation applications and datasets",
+                "Ganapathy et al., DAC'15, Table 1 / Sec. 5.2");
+
+  const char* classes[] = {"Regression", "Dimensionality Reduction",
+                           "Classification"};
+  const char* paper_datasets[] = {"Wine Quality [18]", "Madelon [19]",
+                                  "Activity Recognition [20]"};
+
+  console_table table({"Class", "Algorithm", "Paper dataset",
+                       "Substitute dataset", "Metric", "train rows x features",
+                       "clean metric", "quantized metric"});
+  const matrix_quantizer quantizer;
+  const auto apps = make_all_applications(args.get_u64("seed", 7));
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const auto& app = apps[i];
+    const matrix& train = app->train_features();
+    const double clean = app->evaluate(train);
+    const double quantized = app->evaluate(quantizer.roundtrip(train));
+    table.add_row({classes[i], app->name(), paper_datasets[i],
+                   app->dataset_name(), app->metric_name(),
+                   std::to_string(train.rows()) + " x " +
+                       std::to_string(train.cols()),
+                   format_double(clean, 4), format_double(quantized, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nStorage footprint (Q15.16 words in 16 KB tiles of 4096 words):\n";
+  console_table footprint({"application", "words", "16KB tiles"});
+  for (const auto& app : apps) {
+    const std::size_t words =
+        app->train_features().rows() * app->train_features().cols();
+    footprint.add_row({app->name(), std::to_string(words),
+                       std::to_string((words + 4095) / 4096)});
+  }
+  footprint.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Domain scenario: wine-quality regression on an unreliable memory
+// (the paper's Elasticnet benchmark, Table 1 / Fig. 7a) — the most
+// fault-sensitive of the three applications, shown across a Pcell sweep.
+//
+// Regression coefficients react strongly to large feature outliers, so
+// a single MSB flip in the stored training set can wreck R^2. This is
+// exactly the failure mode the significance-driven shuffling removes.
+#include <iostream>
+
+#include "urmem/common/table.hpp"
+#include "urmem/sim/applications.hpp"
+#include "urmem/sim/memory_pipeline.hpp"
+
+int main() {
+  using namespace urmem;
+
+  const auto app = make_elasticnet_app();
+  const double clean = app->evaluate(app->train_features());
+  std::cout << "Elasticnet on wine-like physicochemical data ("
+            << app->train_features().rows() << " train samples, "
+            << app->train_features().cols() << " features).\n"
+            << "Fault-free R^2 on the held-out 20%: " << format_double(clean, 4)
+            << "\n\n";
+
+  const auto average_r2 = [&](const scheme_factory& factory, double pcell) {
+    double total = 0.0;
+    const int repeats = 5;
+    rng gen(42);
+    for (int i = 0; i < repeats; ++i) {
+      const matrix stored =
+          store_and_readback(app->train_features(), storage_config{}, factory,
+                             binomial_fault_injector(pcell), gen);
+      total += app->evaluate(stored);
+    }
+    return total / repeats;
+  };
+
+  console_table table({"Pcell", "R^2 none", "R^2 P-ECC", "R^2 nFM=1",
+                       "R^2 nFM=2"});
+  for (const double pcell : {1e-5, 1e-4, 1e-3, 5e-3}) {
+    table.add_row(
+        {format_scientific(pcell, 1),
+         format_double(average_r2([](std::uint32_t) { return make_scheme_none(); },
+                                  pcell),
+                       4),
+         format_double(average_r2([](std::uint32_t) { return make_scheme_pecc(); },
+                                  pcell),
+                       4),
+         format_double(average_r2(
+                           [](std::uint32_t rows) {
+                             return make_scheme_shuffle(rows, 32, 1);
+                           },
+                           pcell),
+                       4),
+         format_double(average_r2(
+                           [](std::uint32_t rows) {
+                             return make_scheme_shuffle(rows, 32, 2);
+                           },
+                           pcell),
+                       4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe unprotected memory loses the regression entirely once a "
+               "handful of sign bits flip (Fig. 7a:\n\"without any correction, "
+               "the R^2 metric is extremely low for virtually all samples\"), "
+               "while even the\nsingle-bit FM-LUT (nFM=1) keeps the model "
+               "intact at a fraction of P-ECC's cost.\n";
+  return 0;
+}

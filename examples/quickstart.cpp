@@ -1,0 +1,53 @@
+// Quickstart: protect a faulty SRAM with the bit-shuffling scheme.
+//
+// Demonstrates the complete flow of the paper's Sec. 3 in ~40 lines:
+//   1. a manufactured array has persistent faulty bit-cells;
+//   2. BIST (March C-) locates them and programs the FM-LUT;
+//   3. writes rotate the word so only low-significance bits are exposed;
+//   4. reads rotate back — the residual error is bounded by 2^(S-1).
+#include <iostream>
+
+#include "urmem/bist/bist_engine.hpp"
+#include "urmem/memory/fault_sampler.hpp"
+#include "urmem/memory/sram_array.hpp"
+#include "urmem/shuffle/shuffle_scheme.hpp"
+
+int main() {
+  using namespace urmem;
+
+  // A 64-row, 32-bit memory with a few variation-induced failures.
+  rng gen(2015);
+  const array_geometry geometry{64, 32};
+  const fault_map faults =
+      sample_fault_map_exact(geometry, 6, gen, fault_polarity::random_stuck);
+  sram_array array(faults);
+  std::cout << "Manufactured array: " << faults.fault_count()
+            << " faulty bit-cells.\n";
+
+  // Power-on self test discovers the fault locations and programs the
+  // 5-bit-per-row FM-LUT (single-bit shift granularity, Eq. 1: S = 1).
+  shuffle_scheme scheme(geometry.rows, geometry.width, /*n_fm=*/5);
+  const bist_result bist = bist_engine().run_and_program(array, scheme);
+  std::cout << "BIST (" << bist_engine().algorithm().name << "): found "
+            << bist.faults.fault_count() << " faults using " << bist.reads
+            << " reads / " << bist.writes << " writes.\n\n";
+
+  // Store a value in every faulty row, with and without the scheme.
+  std::cout << "row | shift T | stored value | read w/o scheme | read w/ scheme\n";
+  for (const std::uint32_t row : faults.faulty_rows()) {
+    const word_t value = 1'000'000'000u + row;
+    array.write(row, value);  // unprotected write
+    const auto raw = static_cast<std::int64_t>(array.read(row));
+    array.write(row, scheme.apply_write(row, value));  // shuffled write
+    const std::int64_t shuffled =
+        to_signed(scheme.restore_read(row, array.read(row)), 32);
+    std::cout << row << " | " << scheme.shift_for_row(row) << " | " << value
+              << " | " << raw << " (error " << raw - static_cast<std::int64_t>(value)
+              << ") | " << shuffled << " (error "
+              << shuffled - static_cast<std::int64_t>(value) << ")\n";
+  }
+  std::cout << "\nWith nFM=5 the worst-case error magnitude is 2^0 = 1 per "
+               "word (paper Sec. 3),\nversus up to 2^31 for the unprotected "
+               "array.\n";
+  return 0;
+}

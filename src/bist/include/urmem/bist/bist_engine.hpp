@@ -1,0 +1,56 @@
+// BIST engine: runs a march algorithm against a (faulty) SRAM array,
+// diagnoses the failing bit-cells, and produces the fault map that
+// programs the bit-shuffling FM-LUT (paper Sec. 3, step 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "urmem/bist/march_test.hpp"
+#include "urmem/memory/fault_map.hpp"
+#include "urmem/memory/sram_array.hpp"
+#include "urmem/shuffle/shuffle_scheme.hpp"
+
+namespace urmem {
+
+/// Outcome of a BIST run.
+struct bist_result {
+  fault_map faults;          ///< diagnosed failing cells with inferred kinds
+  std::uint64_t reads = 0;   ///< total read operations issued
+  std::uint64_t writes = 0;  ///< total write operations issued
+  bool pass = false;         ///< true when no mismatch was observed
+
+  /// Traditional zero-failure test verdict (paper Sec. 2): reject the
+  /// die when any cell fails.
+  [[nodiscard]] bool traditional_accept() const { return pass; }
+};
+
+/// Runs march algorithms and diagnoses fault locations and kinds.
+///
+/// Diagnosis: a cell that misreads only when the expected bit is 0 is
+/// stuck-at-1, only when the expected bit is 1 is stuck-at-0, and in
+/// both directions behaves as an inverting (flip) cell.
+class bist_engine {
+ public:
+  /// `backgrounds` are the data patterns swept by the algorithm; the
+  /// default solid + checkerboard pair covers word-level stuck-at and
+  /// intra-word coupling visibility.
+  explicit bist_engine(march_algorithm algorithm = march_c_minus(),
+                       std::vector<word_t> backgrounds = {0x0ULL,
+                                                          0xAAAAAAAAAAAAAAAAULL});
+
+  [[nodiscard]] const march_algorithm& algorithm() const { return algorithm_; }
+
+  /// Executes the test. Destroys array contents (as real BIST does).
+  [[nodiscard]] bist_result run(sram_array& array) const;
+
+  /// Convenience for the paper's flow: run BIST, then program the
+  /// FM-LUT of `scheme` from the diagnosed fault map. Returns the result.
+  bist_result run_and_program(sram_array& array, shuffle_scheme& scheme) const;
+
+ private:
+  march_algorithm algorithm_;
+  std::vector<word_t> backgrounds_;
+};
+
+}  // namespace urmem

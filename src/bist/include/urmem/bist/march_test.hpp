@@ -1,0 +1,75 @@
+// March test algorithms for memory built-in self test.
+//
+// The paper (Sec. 3) determines the per-row fault locations "during BIST,
+// which can be executed either during post-fabrication testing or during
+// power-on startup testing (POST)". March tests are the industry-standard
+// BIST algorithms: sequences of march elements, each sweeping the address
+// space in a fixed order and applying a read/write pattern per address.
+//
+// Notation (van de Goor): ⇑ ascending, ⇓ descending, ⇕ either order;
+// w0/w1 write the background/inverted-background pattern, r0/r1 read and
+// compare against it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace urmem {
+
+/// Address sweep direction of a march element.
+enum class address_order : std::uint8_t {
+  ascending,
+  descending,
+  any,  ///< order irrelevant for coverage; executed ascending
+};
+
+/// One primitive operation of a march element.
+struct march_op {
+  bool is_read = false;  ///< true: read & compare, false: write
+  bool inverted = false; ///< false: background pattern, true: its complement
+};
+
+/// Shorthand constructors matching the r0/r1/w0/w1 notation.
+[[nodiscard]] constexpr march_op r0() { return {true, false}; }
+[[nodiscard]] constexpr march_op r1() { return {true, true}; }
+[[nodiscard]] constexpr march_op w0() { return {false, false}; }
+[[nodiscard]] constexpr march_op w1() { return {false, true}; }
+
+/// A sweep over all addresses applying `ops` at each address.
+struct march_element {
+  address_order order = address_order::any;
+  std::vector<march_op> ops;
+};
+
+/// A complete march algorithm.
+struct march_algorithm {
+  std::string name;
+  std::vector<march_element> elements;
+
+  /// Operations per address per background — the test-time metric
+  /// (e.g. 10 for March C-).
+  [[nodiscard]] std::size_t complexity() const;
+};
+
+/// MATS+ (5N): {⇕(w0); ⇑(r0,w1); ⇓(r1,w0)} — detects all stuck-at and
+/// address-decoder faults.
+[[nodiscard]] march_algorithm mats_plus();
+
+/// March C- (10N): {⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}
+/// — adds full coupling-fault coverage. The default BIST algorithm here.
+[[nodiscard]] march_algorithm march_c_minus();
+
+/// March SS (22N): extends March C- with read-after-read sequences that
+/// expose stable read-destructive and deceptive faults.
+[[nodiscard]] march_algorithm march_ss();
+
+/// March A (15N): {⇕(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1);
+/// ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)} — linked coupling faults.
+[[nodiscard]] march_algorithm march_a();
+
+/// March B (17N): March A variant with extra read verification in the
+/// first ascending element.
+[[nodiscard]] march_algorithm march_b();
+
+}  // namespace urmem

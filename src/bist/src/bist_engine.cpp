@@ -1,0 +1,79 @@
+#include "urmem/bist/bist_engine.hpp"
+
+#include <vector>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+bist_engine::bist_engine(march_algorithm algorithm, std::vector<word_t> backgrounds)
+    : algorithm_(std::move(algorithm)), backgrounds_(std::move(backgrounds)) {
+  expects(!algorithm_.elements.empty(), "march algorithm has no elements");
+  expects(!backgrounds_.empty(), "BIST needs at least one background pattern");
+}
+
+bist_result bist_engine::run(sram_array& array) const {
+  const array_geometry geometry = array.geometry();
+  const word_t mask = word_mask(geometry.width);
+
+  // Per cell, track in which expected-bit directions a mismatch occurred.
+  std::vector<std::uint8_t> misread_as_one(geometry.cells(), 0);  // expected 0, read 1
+  std::vector<std::uint8_t> misread_as_zero(geometry.cells(), 0); // expected 1, read 0
+
+  bist_result result{fault_map(geometry)};
+
+  for (const word_t background : backgrounds_) {
+    for (const march_element& element : algorithm_.elements) {
+      const bool descending = element.order == address_order::descending;
+      for (std::uint32_t i = 0; i < geometry.rows; ++i) {
+        const std::uint32_t row = descending ? geometry.rows - 1 - i : i;
+        for (const march_op& op : element.ops) {
+          const word_t pattern = (op.inverted ? ~background : background) & mask;
+          if (op.is_read) {
+            ++result.reads;
+            const word_t observed = array.read(row);
+            const word_t diff = (observed ^ pattern) & mask;
+            if (diff == 0) continue;
+            for (std::uint32_t col = 0; col < geometry.width; ++col) {
+              if (!get_bit(diff, col)) continue;
+              const std::uint64_t cell = geometry.cell_index(row, col);
+              if (get_bit(pattern, col)) {
+                misread_as_zero[cell] = 1;
+              } else {
+                misread_as_one[cell] = 1;
+              }
+            }
+          } else {
+            ++result.writes;
+            array.write(row, pattern);
+          }
+        }
+      }
+    }
+  }
+
+  for (std::uint32_t row = 0; row < geometry.rows; ++row) {
+    for (std::uint32_t col = 0; col < geometry.width; ++col) {
+      const std::uint64_t cell = geometry.cell_index(row, col);
+      const bool as_one = misread_as_one[cell] != 0;
+      const bool as_zero = misread_as_zero[cell] != 0;
+      if (!as_one && !as_zero) continue;
+      fault_kind kind;
+      if (as_one && as_zero) kind = fault_kind::flip;
+      else if (as_one) kind = fault_kind::stuck_at_one;
+      else kind = fault_kind::stuck_at_zero;
+      result.faults.add(fault{row, col, kind});
+    }
+  }
+  result.pass = result.faults.fault_count() == 0;
+  return result;
+}
+
+bist_result bist_engine::run_and_program(sram_array& array,
+                                         shuffle_scheme& scheme) const {
+  bist_result result = run(array);
+  scheme.program(result.faults);
+  return result;
+}
+
+}  // namespace urmem

@@ -1,0 +1,66 @@
+#include "urmem/bist/march_test.hpp"
+
+namespace urmem {
+
+std::size_t march_algorithm::complexity() const {
+  std::size_t ops = 0;
+  for (const auto& element : elements) ops += element.ops.size();
+  return ops;
+}
+
+march_algorithm mats_plus() {
+  return {"MATS+",
+          {
+              {address_order::any, {w0()}},
+              {address_order::ascending, {r0(), w1()}},
+              {address_order::descending, {r1(), w0()}},
+          }};
+}
+
+march_algorithm march_c_minus() {
+  return {"March C-",
+          {
+              {address_order::any, {w0()}},
+              {address_order::ascending, {r0(), w1()}},
+              {address_order::ascending, {r1(), w0()}},
+              {address_order::descending, {r0(), w1()}},
+              {address_order::descending, {r1(), w0()}},
+              {address_order::any, {r0()}},
+          }};
+}
+
+march_algorithm march_a() {
+  return {"March A",
+          {
+              {address_order::any, {w0()}},
+              {address_order::ascending, {r0(), w1(), w0(), w1()}},
+              {address_order::ascending, {r1(), w0(), w1()}},
+              {address_order::descending, {r1(), w0(), w1(), w0()}},
+              {address_order::descending, {r0(), w1(), w0()}},
+          }};
+}
+
+march_algorithm march_b() {
+  return {"March B",
+          {
+              {address_order::any, {w0()}},
+              {address_order::ascending, {r0(), w1(), r1(), w0(), r0(), w1()}},
+              {address_order::ascending, {r1(), w0(), w1()}},
+              {address_order::descending, {r1(), w0(), w1(), w0()}},
+              {address_order::descending, {r0(), w1(), w0()}},
+          }};
+}
+
+march_algorithm march_ss() {
+  return {"March SS",
+          {
+              {address_order::any, {w0()}},
+              {address_order::ascending, {r0(), r0(), w0(), r0(), w1()}},
+              {address_order::ascending, {r1(), r1(), w1(), r1(), w0()}},
+              {address_order::descending, {r0(), r0(), w0(), r0(), w1()}},
+              {address_order::descending, {r1(), r1(), w1(), r1(), w0()}},
+              {address_order::any, {r0()}},
+          }};
+}
+
+}  // namespace urmem

@@ -1,0 +1,102 @@
+// Width-parameterized bit manipulation on 64-bit carriers.
+//
+// Every memory word in the library is carried in a std::uint64_t whose
+// logical width (number of valid low-order bits) travels alongside it.
+// These helpers implement masking, bit access, parity and the circular
+// shifts that the bit-shuffling scheme (paper Sec. 3) is built from.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+/// Carrier type for memory words of up to 64 bits.
+using word_t = std::uint64_t;
+
+/// Maximum supported word width in bits.
+inline constexpr unsigned max_word_width = 64;
+
+/// Mask with the low `width` bits set. `width` must be in [1, 64].
+[[nodiscard]] constexpr word_t word_mask(unsigned width) {
+  return width >= 64 ? ~word_t{0} : ((word_t{1} << width) - 1);
+}
+
+/// True when `width` is a supported word width (1..64).
+[[nodiscard]] constexpr bool is_valid_width(unsigned width) {
+  return width >= 1 && width <= max_word_width;
+}
+
+/// Extracts bit `pos` (0 = LSB) of `value`.
+[[nodiscard]] constexpr bool get_bit(word_t value, unsigned pos) {
+  return ((value >> pos) & word_t{1}) != 0;
+}
+
+/// Returns `value` with bit `pos` set to `bit`.
+[[nodiscard]] constexpr word_t set_bit(word_t value, unsigned pos, bool bit) {
+  const word_t mask = word_t{1} << pos;
+  return bit ? (value | mask) : (value & ~mask);
+}
+
+/// Returns `value` with bit `pos` inverted.
+[[nodiscard]] constexpr word_t flip_bit(word_t value, unsigned pos) {
+  return value ^ (word_t{1} << pos);
+}
+
+/// Even parity of the low `width` bits: true when the popcount is odd.
+[[nodiscard]] constexpr bool parity(word_t value, unsigned width = 64) {
+  return (std::popcount(value & word_mask(width)) & 1) != 0;
+}
+
+/// Circular right shift of the low `width` bits of `value` by `shift`
+/// positions. Bits above `width` are discarded. `shift` may exceed `width`.
+[[nodiscard]] constexpr word_t rotate_right(word_t value, unsigned shift, unsigned width) {
+  const word_t mask = word_mask(width);
+  value &= mask;
+  shift %= width;
+  if (shift == 0) return value;
+  return ((value >> shift) | (value << (width - shift))) & mask;
+}
+
+/// Circular left shift of the low `width` bits; inverse of rotate_right.
+[[nodiscard]] constexpr word_t rotate_left(word_t value, unsigned shift, unsigned width) {
+  shift %= width;
+  return rotate_right(value, shift == 0 ? 0 : width - shift, width);
+}
+
+/// Integer base-2 logarithm of a power of two.
+[[nodiscard]] constexpr unsigned log2_exact(word_t value) {
+  return static_cast<unsigned>(std::countr_zero(value));
+}
+
+/// True when `value` is a nonzero power of two.
+[[nodiscard]] constexpr bool is_power_of_two(word_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Ceiling of log2 for any nonzero value.
+[[nodiscard]] constexpr unsigned ceil_log2(word_t value) {
+  return value <= 1 ? 0
+                    : static_cast<unsigned>(std::bit_width(value - 1));
+}
+
+/// Reinterprets the low `width` bits of `stored` as a two's-complement
+/// signed integer (sign bit = bit width-1) and sign-extends to 64 bits.
+[[nodiscard]] constexpr std::int64_t to_signed(word_t stored, unsigned width) {
+  const word_t mask = word_mask(width);
+  stored &= mask;
+  if (width < 64 && get_bit(stored, width - 1)) {
+    return static_cast<std::int64_t>(stored | ~mask);
+  }
+  return static_cast<std::int64_t>(stored);
+}
+
+/// Truncates a signed value to the low `width` bits of a word
+/// (two's-complement encoding; inverse of to_signed for in-range values).
+[[nodiscard]] constexpr word_t from_signed(std::int64_t value, unsigned width) {
+  return static_cast<word_t>(value) & word_mask(width);
+}
+
+}  // namespace urmem

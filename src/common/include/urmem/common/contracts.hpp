@@ -1,0 +1,36 @@
+// Lightweight precondition/postcondition checks (C++ Core Guidelines I.6/I.8).
+//
+// Violations throw: a precondition failure is a caller bug
+// (std::invalid_argument), a postcondition failure is a library bug
+// (std::logic_error). Both carry the call site, which makes test failures
+// and misuse reports directly actionable.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace urmem {
+
+/// Throws std::invalid_argument when a caller-supplied argument violates a
+/// documented precondition.
+inline void expects(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw std::invalid_argument(std::string(loc.file_name()) + ":" +
+                                std::to_string(loc.line()) +
+                                ": precondition violated: " + message);
+  }
+}
+
+/// Throws std::logic_error when an internal invariant does not hold.
+inline void ensures(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw std::logic_error(std::string(loc.file_name()) + ":" +
+                           std::to_string(loc.line()) +
+                           ": invariant violated: " + message);
+  }
+}
+
+}  // namespace urmem

@@ -1,0 +1,143 @@
+// Deterministic random number generation for Monte-Carlo experiments.
+//
+// Two generators are provided:
+//  * `rng` — a sequential xoshiro256** engine used for sampling fault maps
+//    and datasets. It satisfies UniformRandomBitGenerator.
+//  * `cell_hash` — a stateless counter-based generator (splitmix64 finalizer)
+//    that maps (seed, index) to an independent uniform draw. It gives every
+//    bit-cell of a memory its own persistent random value, which is how the
+//    per-cell critical voltage (and with it the fault-inclusion property of
+//    Sec. 2) is realized without storing per-cell state.
+//
+// All generators are reproducible across platforms; the standard library's
+// distributions are deliberately avoided (their outputs are
+// implementation-defined).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace urmem {
+
+/// splitmix64 finalizer: a high-quality 64-bit mix function.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Sequential pseudo-random engine (xoshiro256**, Blackman & Vigna).
+/// Satisfies UniformRandomBitGenerator; period 2^256 - 1.
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words by repeated splitmix64 expansion of `seed`.
+  explicit constexpr rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s = splitmix64(s);
+      word = s;
+    }
+    // A theoretical all-zero seed expansion would lock the engine; nudge it.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 uniformly distributed bits.
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  constexpr double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  constexpr std::uint64_t uniform_below(std::uint64_t bound) {
+    __extension__ using u128 = unsigned __int128;
+    std::uint64_t x = (*this)();
+    u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<u128>(x) * static_cast<u128>(bound);
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal deviate (Box-Muller; consumes two uniforms per pair,
+  /// caches the second).
+  double normal() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    cached_ = radius * std::sin(two_pi * u2);
+    have_cached_ = true;
+    return radius * std::cos(two_pi * u2);
+  }
+
+  /// Derives an independent child engine; `stream` selects the substream.
+  [[nodiscard]] constexpr rng split(std::uint64_t stream) const {
+    return rng(splitmix64(state_[0] ^ splitmix64(stream ^ 0xa0761d6478bd642fULL)));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+/// Stateless counter-based generator: an independent uniform draw per
+/// (seed, index) pair. Evaluating the same pair always yields the same
+/// value, so per-cell properties derived from it are persistent — exactly
+/// the behaviour of manufacturing variations.
+class cell_hash {
+ public:
+  explicit constexpr cell_hash(std::uint64_t seed) : seed_(splitmix64(seed)) {}
+
+  /// 64 uniform bits for element `index`.
+  [[nodiscard]] constexpr std::uint64_t bits(std::uint64_t index) const {
+    return splitmix64(seed_ ^ (index * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+  }
+
+  /// Uniform double in (0, 1) for element `index` (never exactly 0 or 1,
+  /// safe as input to inverse-CDF transforms).
+  [[nodiscard]] constexpr double uniform(std::uint64_t index) const {
+    return (static_cast<double>(bits(index) >> 11) + 0.5) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace urmem

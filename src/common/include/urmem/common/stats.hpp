@@ -1,0 +1,73 @@
+// Statistical primitives shared by the yield analysis and the
+// application-quality experiments: normal CDF/quantile, descriptive
+// statistics, and (weighted) empirical distribution functions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace urmem {
+
+/// Standard normal cumulative distribution function Phi(x).
+[[nodiscard]] double normal_cdf(double x);
+
+/// Inverse of normal_cdf. `p` must lie in (0, 1).
+/// Acklam's rational approximation refined with one Halley step
+/// (relative error below 1e-13 over the full domain).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Arithmetic mean; empty input yields 0.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Unbiased sample variance (n-1 denominator); fewer than 2 values yield 0.
+[[nodiscard]] double variance(std::span<const double> values);
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> values);
+
+/// `count` evenly spaced points from `lo` to `hi` inclusive.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+/// `count` logarithmically spaced points from `lo` to `hi` inclusive
+/// (both strictly positive).
+[[nodiscard]] std::vector<double> logspace(double lo, double hi, std::size_t count);
+
+/// Weighted empirical cumulative distribution function.
+///
+/// Samples carry nonnegative weights (uniform MC uses weight 1; the
+/// stratified fault-count sweep of the paper's Fig. 5 uses per-stratum
+/// probabilities Pr(N = n)). Weights are normalized internally, so the
+/// CDF always reaches 1 at +infinity.
+class empirical_cdf {
+ public:
+  empirical_cdf() = default;
+
+  /// Builds the distribution from (value, weight) pairs.
+  /// Weights must be nonnegative with a positive sum.
+  empirical_cdf(std::vector<double> values, std::vector<double> weights);
+
+  /// Builds an unweighted distribution (all weights 1).
+  explicit empirical_cdf(std::vector<double> values);
+
+  /// P(X <= x).
+  [[nodiscard]] double at(double x) const;
+
+  /// Smallest sample value v with P(X <= v) >= p; `p` in (0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+  /// Number of distinct support points.
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// Sorted support points (deduplicated).
+  [[nodiscard]] const std::vector<double>& support() const { return values_; }
+
+  /// Cumulative probability at each support point.
+  [[nodiscard]] const std::vector<double>& cumulative() const { return cumulative_; }
+
+ private:
+  std::vector<double> values_;      // sorted, unique
+  std::vector<double> cumulative_;  // matching cumulative probabilities
+};
+
+}  // namespace urmem

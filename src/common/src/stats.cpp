@@ -1,0 +1,146 @@
+#include "urmem/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x * 0.7071067811865475244);  // 1/sqrt(2)
+}
+
+namespace {
+
+// Acklam's inverse-normal rational approximation (|rel err| < 1.15e-9).
+double acklam_quantile(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+double normal_quantile(double p) {
+  expects(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1)");
+  double x = acklam_quantile(p);
+  // One Halley refinement step against the exact CDF.
+  constexpr double inv_sqrt_2pi = 0.3989422804014326779;
+  const double e = normal_cdf(x) - p;
+  const double u = e / (inv_sqrt_2pi * std::exp(-0.5 * x * x));
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (const double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  expects(count >= 2, "linspace requires at least 2 points");
+  std::vector<double> out(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t count) {
+  expects(lo > 0.0 && hi > 0.0, "logspace requires positive endpoints");
+  auto exponents = linspace(std::log10(lo), std::log10(hi), count);
+  for (double& e : exponents) e = std::pow(10.0, e);
+  exponents.back() = hi;
+  return exponents;
+}
+
+empirical_cdf::empirical_cdf(std::vector<double> values)
+    : empirical_cdf(std::move(values), {}) {}
+
+empirical_cdf::empirical_cdf(std::vector<double> values, std::vector<double> weights) {
+  expects(!values.empty(), "empirical_cdf requires at least one sample");
+  if (weights.empty()) {
+    weights.assign(values.size(), 1.0);
+  }
+  expects(weights.size() == values.size(), "values/weights size mismatch");
+
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t l, std::size_t r) { return values[l] < values[r]; });
+
+  double total = 0.0;
+  for (const double w : weights) {
+    expects(w >= 0.0, "weights must be nonnegative");
+    total += w;
+  }
+  expects(total > 0.0, "total weight must be positive");
+
+  double running = 0.0;
+  for (const std::size_t idx : order) {
+    running += weights[idx] / total;
+    if (!values_.empty() && values_.back() == values[idx]) {
+      cumulative_.back() = running;  // merge duplicate support points
+    } else {
+      values_.push_back(values[idx]);
+      cumulative_.push_back(running);
+    }
+  }
+  cumulative_.back() = 1.0;  // absorb rounding
+}
+
+double empirical_cdf::at(double x) const {
+  expects(!values_.empty(), "empirical_cdf is empty");
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  if (it == values_.begin()) return 0.0;
+  const auto idx = static_cast<std::size_t>(std::distance(values_.begin(), it)) - 1;
+  return cumulative_[idx];
+}
+
+double empirical_cdf::quantile(double p) const {
+  expects(!values_.empty(), "empirical_cdf is empty");
+  expects(p > 0.0 && p <= 1.0, "quantile requires p in (0,1]");
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), p);
+  if (it == cumulative_.end()) return values_.back();
+  const auto idx = static_cast<std::size_t>(std::distance(cumulative_.begin(), it));
+  return values_[idx];
+}
+
+}  // namespace urmem

@@ -1,0 +1,64 @@
+#include "urmem/common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+console_table::console_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  expects(!headers_.empty(), "table needs at least one column");
+}
+
+void console_table::add_row(std::vector<std::string> cells) {
+  expects(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void console_table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << " |\n";
+  };
+
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_double(double value, int digits) {
+  std::ostringstream ss;
+  ss << std::setprecision(digits) << value;
+  return ss.str();
+}
+
+std::string format_scientific(double value, int digits) {
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(digits) << value;
+  return ss.str();
+}
+
+std::string format_percent(double ratio, int digits) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(digits) << ratio * 100.0 << "%";
+  return ss.str();
+}
+
+}  // namespace urmem

@@ -1,0 +1,27 @@
+// Dataset container shared by the three evaluation applications
+// (paper Table 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "urmem/ml/matrix.hpp"
+
+namespace urmem {
+
+/// A feature matrix with either regression targets or class labels.
+struct dataset {
+  std::string name;
+  matrix features;                         ///< n x p
+  std::vector<double> targets;             ///< regression (may be empty)
+  std::vector<int> labels;                 ///< classification (may be empty)
+  std::vector<std::string> feature_names;  ///< size p (may be empty)
+
+  [[nodiscard]] std::size_t size() const { return features.rows(); }
+  [[nodiscard]] std::size_t dimension() const { return features.cols(); }
+
+  /// Throws when internal sizes disagree.
+  void validate() const;
+};
+
+}  // namespace urmem

@@ -1,0 +1,128 @@
+#include "urmem/datasets/csv.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, char separator) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, separator)) cells.push_back(cell);
+  if (!line.empty() && line.back() == separator) cells.emplace_back();
+  return cells;
+}
+
+double parse_cell(const std::string& cell, std::size_t line_no) {
+  double value = 0.0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(cell, &consumed);
+  } catch (const std::logic_error&) {
+    throw std::invalid_argument("csv: non-numeric cell '" + cell + "' at line " +
+                                std::to_string(line_no));
+  }
+  // Allow trailing whitespace only.
+  for (std::size_t i = consumed; i < cell.size(); ++i) {
+    expects(std::isspace(static_cast<unsigned char>(cell[i])) != 0,
+            "non-numeric cell at line " + std::to_string(line_no));
+  }
+  return value;
+}
+
+}  // namespace
+
+dataset read_csv(std::istream& in, const csv_options& options) {
+  std::string line;
+  std::size_t line_no = 0;
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto cells = split_line(line, options.separator);
+    if (line_no == 1 && options.has_header) {
+      header = cells;
+      continue;
+    }
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& cell : cells) row.push_back(parse_cell(cell, line_no));
+    if (!rows.empty()) {
+      expects(row.size() == rows.front().size(),
+              "ragged csv row at line " + std::to_string(line_no));
+    }
+    rows.push_back(std::move(row));
+  }
+  expects(!rows.empty(), "csv contains no data rows");
+
+  const auto n_cols = rows.front().size();
+  expects(n_cols >= 2, "csv needs at least one feature and one target column");
+  int target = options.target_column;
+  if (target < 0) target += static_cast<int>(n_cols);
+  expects(target >= 0 && target < static_cast<int>(n_cols),
+          "target column out of range");
+  const auto target_idx = static_cast<std::size_t>(target);
+
+  dataset data;
+  data.name = "csv";
+  data.features = matrix(rows.size(), n_cols - 1);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::size_t out_c = 0;
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      if (c == target_idx) continue;
+      data.features(r, out_c++) = rows[r][c];
+    }
+    if (options.target_is_label) {
+      data.labels.push_back(static_cast<int>(std::llround(rows[r][target_idx])));
+    } else {
+      data.targets.push_back(rows[r][target_idx]);
+    }
+  }
+  if (!header.empty() && header.size() == n_cols) {
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      if (c != target_idx) data.feature_names.push_back(header[c]);
+    }
+  }
+  data.validate();
+  return data;
+}
+
+dataset read_csv_file(const std::string& path, const csv_options& options) {
+  std::ifstream in(path);
+  expects(in.good(), "cannot open csv file: " + path);
+  return read_csv(in, options);
+}
+
+void write_csv(std::ostream& out, const dataset& data, char separator) {
+  data.validate();
+  const bool has_target = !data.targets.empty() || !data.labels.empty();
+  for (std::size_t c = 0; c < data.dimension(); ++c) {
+    if (c > 0) out << separator;
+    out << (c < data.feature_names.size() ? data.feature_names[c]
+                                          : "f" + std::to_string(c));
+  }
+  if (has_target) out << separator << (data.labels.empty() ? "target" : "label");
+  out << '\n';
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    for (std::size_t c = 0; c < data.dimension(); ++c) {
+      if (c > 0) out << separator;
+      out << data.features(r, c);
+    }
+    if (!data.labels.empty()) out << separator << data.labels[r];
+    else if (!data.targets.empty()) out << separator << data.targets[r];
+    out << '\n';
+  }
+}
+
+}  // namespace urmem

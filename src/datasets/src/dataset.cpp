@@ -1,0 +1,17 @@
+#include "urmem/datasets/dataset.hpp"
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+void dataset::validate() const {
+  expects(!features.empty(), "dataset has no features");
+  expects(targets.empty() || targets.size() == features.rows(),
+          "target count must match feature rows");
+  expects(labels.empty() || labels.size() == features.rows(),
+          "label count must match feature rows");
+  expects(feature_names.empty() || feature_names.size() == features.cols(),
+          "feature name count must match feature columns");
+}
+
+}  // namespace urmem

@@ -1,0 +1,64 @@
+#include <array>
+#include <cmath>
+
+#include "urmem/common/contracts.hpp"
+#include "urmem/common/rng.hpp"
+#include "urmem/datasets/generators.hpp"
+
+namespace urmem {
+
+namespace {
+
+/// Accelerometer window signatures (mean_x/y/z in g, std_x/y/z) per
+/// activity, in the spirit of the wearable walking-pattern data of
+/// ref. [20]. Means separate the postures; stds separate the dynamic
+/// activities from the static ones.
+struct activity_signature {
+  const char* name;
+  std::array<double, 3> mean;  // gravity projection per axis
+  std::array<double, 3> std;   // motion intensity per axis
+};
+
+constexpr activity_signature k_activities[] = {
+    {"working_at_computer", {0.02, 0.95, 0.28}, {0.03, 0.04, 0.03}},
+    {"standing", {0.05, 1.00, 0.05}, {0.05, 0.06, 0.05}},
+    {"walking", {0.10, 0.98, 0.12}, {0.28, 0.35, 0.30}},
+    {"going_up_down_stairs", {0.18, 0.92, 0.20}, {0.38, 0.48, 0.42}},
+    {"walking_and_talking", {0.08, 0.97, 0.15}, {0.22, 0.30, 0.26}},
+};
+
+}  // namespace
+
+dataset make_har_like(const har_like_config& config) {
+  expects(config.samples >= 10, "har_like needs at least 10 samples");
+  expects(config.classes >= 2 && config.classes <= std::size(k_activities),
+          "har_like supports 2..5 classes");
+  rng gen(config.seed);
+
+  dataset data;
+  data.name = "har-like";
+  data.features = matrix(config.samples, 6);
+  data.labels.resize(config.samples);
+  data.feature_names = {"mean_x", "mean_y", "mean_z",
+                        "std_x",  "std_y",  "std_z"};
+
+  for (std::size_t i = 0; i < config.samples; ++i) {
+    const auto cls = static_cast<std::size_t>(gen.uniform_below(config.classes));
+    const activity_signature& sig = k_activities[cls];
+    data.labels[i] = static_cast<int>(cls);
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+      // Window mean: signature plus sensor placement / posture jitter.
+      data.features(i, axis) =
+          sig.mean[axis] + 0.06 * config.within_class_std * gen.normal();
+      // Window std: strictly positive, log-normal-ish around the
+      // signature intensity.
+      const double jitter =
+          std::exp(0.25 * config.within_class_std * gen.normal());
+      data.features(i, 3 + axis) = sig.std[axis] * jitter;
+    }
+  }
+  data.validate();
+  return data;
+}
+
+}  // namespace urmem

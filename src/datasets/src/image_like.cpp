@@ -1,0 +1,49 @@
+#include <algorithm>
+#include <cmath>
+
+#include "urmem/common/contracts.hpp"
+#include "urmem/common/rng.hpp"
+#include "urmem/datasets/generators.hpp"
+
+namespace urmem {
+
+dataset make_image_like(const image_like_config& config) {
+  expects(config.width >= 8 && config.height >= 8,
+          "image must be at least 8x8");
+  rng gen(config.seed);
+
+  dataset data;
+  data.name = "image-like";
+  data.features = matrix(config.height, config.width);
+
+  // Random low-frequency cosine components give natural-image-like
+  // spatial correlation; amplitudes fall off with frequency.
+  struct wave {
+    double fx, fy, phase, amplitude;
+  };
+  std::vector<wave> waves(config.waves);
+  for (std::size_t k = 0; k < config.waves; ++k) {
+    const double freq_scale = 1.0 + static_cast<double>(k);
+    waves[k] = {gen.uniform() * 6.283 * freq_scale / static_cast<double>(config.width),
+                gen.uniform() * 6.283 * freq_scale / static_cast<double>(config.height),
+                gen.uniform() * 6.283, 60.0 / freq_scale};
+  }
+  const double gx = (gen.uniform() - 0.5) * 60.0 / static_cast<double>(config.width);
+  const double gy = (gen.uniform() - 0.5) * 60.0 / static_cast<double>(config.height);
+
+  for (std::size_t y = 0; y < config.height; ++y) {
+    for (std::size_t x = 0; x < config.width; ++x) {
+      double v = 128.0 + gx * static_cast<double>(x) + gy * static_cast<double>(y);
+      for (const wave& w : waves) {
+        v += w.amplitude * std::cos(w.fx * static_cast<double>(x) +
+                                    w.fy * static_cast<double>(y) + w.phase);
+      }
+      v += config.texture_noise * gen.normal();
+      data.features(y, x) = std::clamp(v, 0.0, 255.0);
+    }
+  }
+  data.validate();
+  return data;
+}
+
+}  // namespace urmem

@@ -1,0 +1,66 @@
+#include <cmath>
+#include <vector>
+
+#include "urmem/common/contracts.hpp"
+#include "urmem/common/rng.hpp"
+#include "urmem/datasets/generators.hpp"
+
+namespace urmem {
+
+dataset make_madelon_like(const madelon_like_config& config) {
+  expects(config.samples >= 10, "madelon_like needs at least 10 samples");
+  expects(config.informative >= 1, "need at least one informative feature");
+  rng gen(config.seed);
+
+  const std::size_t p =
+      config.informative + config.redundant + config.noise_features;
+  dataset data;
+  data.name = "madelon-like";
+  data.features = matrix(config.samples, p);
+  data.labels.resize(config.samples);
+
+  // The Madelon recipe [19]: class clusters sit on the vertices of a
+  // hypercube in the informative subspace. With 2^informative vertices,
+  // alternating vertex parity assigns the two classes (XOR-like, so no
+  // single feature is predictive on its own).
+  const std::size_t vertices = std::size_t{1} << std::min<std::size_t>(
+                                   config.informative, 10);
+
+  // Redundant features are fixed random linear combinations of the
+  // informative ones (the same mixing matrix for every sample).
+  matrix mixing(config.informative, config.redundant > 0 ? config.redundant : 1);
+  for (std::size_t i = 0; i < mixing.rows(); ++i) {
+    for (std::size_t j = 0; j < mixing.cols(); ++j) mixing(i, j) = gen.normal();
+  }
+
+  std::vector<double> informative(config.informative);
+  for (std::size_t s = 0; s < config.samples; ++s) {
+    const std::size_t vertex = gen.uniform_below(vertices);
+    int parity = 0;
+    for (std::size_t d = 0; d < config.informative; ++d) {
+      const bool high = ((vertex >> d) & 1u) != 0;
+      parity ^= high ? 1 : 0;
+      informative[d] = (high ? config.cluster_sep : -config.cluster_sep) +
+                       config.cluster_std * gen.normal();
+      data.features(s, d) = informative[d];
+    }
+    data.labels[s] = parity;
+
+    for (std::size_t j = 0; j < config.redundant; ++j) {
+      double acc = 0.0;
+      for (std::size_t d = 0; d < config.informative; ++d) {
+        acc += informative[d] * mixing(d, j);
+      }
+      // Normalize so redundant features keep a comparable scale.
+      data.features(s, config.informative + j) =
+          acc / std::sqrt(static_cast<double>(config.informative));
+    }
+    for (std::size_t j = 0; j < config.noise_features; ++j) {
+      data.features(s, config.informative + config.redundant + j) = gen.normal();
+    }
+  }
+  data.validate();
+  return data;
+}
+
+}  // namespace urmem

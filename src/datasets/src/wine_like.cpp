@@ -1,0 +1,88 @@
+#include <algorithm>
+#include <cmath>
+
+#include "urmem/common/contracts.hpp"
+#include "urmem/common/rng.hpp"
+#include "urmem/datasets/generators.hpp"
+
+namespace urmem {
+
+namespace {
+
+/// Mean and standard deviation of each physicochemical feature, matched
+/// to the red-wine subset of the UCI Wine Quality data [18].
+struct feature_stats {
+  const char* name;
+  double mean;
+  double std;
+  double min;
+  double max;
+};
+
+constexpr feature_stats k_features[] = {
+    {"fixed_acidity", 8.32, 1.74, 4.6, 15.9},
+    {"volatile_acidity", 0.53, 0.18, 0.12, 1.58},
+    {"citric_acid", 0.27, 0.19, 0.0, 1.0},
+    {"residual_sugar", 2.54, 1.41, 0.9, 15.5},
+    {"chlorides", 0.087, 0.047, 0.012, 0.611},
+    {"free_sulfur_dioxide", 15.87, 10.46, 1.0, 72.0},
+    {"total_sulfur_dioxide", 46.47, 32.9, 6.0, 289.0},
+    {"density", 0.9967, 0.0019, 0.990, 1.004},
+    {"ph", 3.31, 0.15, 2.74, 4.01},
+    {"sulphates", 0.66, 0.17, 0.33, 2.0},
+    {"alcohol", 10.42, 1.07, 8.4, 14.9},
+};
+constexpr std::size_t k_feature_count = std::size(k_features);
+
+}  // namespace
+
+dataset make_wine_like(const wine_like_config& config) {
+  expects(config.samples >= 10, "wine_like needs at least 10 samples");
+  rng gen(config.seed);
+
+  dataset data;
+  data.name = "wine-like";
+  data.features = matrix(config.samples, k_feature_count);
+  data.targets.resize(config.samples);
+  for (const feature_stats& f : k_features) data.feature_names.emplace_back(f.name);
+
+  for (std::size_t i = 0; i < config.samples; ++i) {
+    // Latent factors reproduce the dominant correlations of the real
+    // data: ripeness drives acidity down / alcohol up; sulfur dioxide
+    // levels move together; density follows sugar and (inversely)
+    // alcohol.
+    const double ripeness = gen.normal();
+    const double sulfur = gen.normal();
+
+    double z[k_feature_count];
+    z[0] = 0.5 * ripeness + 0.87 * gen.normal();              // fixed acidity
+    z[1] = -0.45 * ripeness + 0.89 * gen.normal();            // volatile acidity
+    z[2] = 0.55 * ripeness + 0.6 * gen.normal();              // citric acid
+    z[3] = 0.3 * gen.normal() + 0.2 * sulfur + gen.normal() * 0.8;  // sugar
+    z[4] = 0.2 * gen.normal() + 0.9 * gen.normal();           // chlorides
+    z[5] = 0.85 * sulfur + 0.53 * gen.normal();               // free SO2
+    z[6] = 0.9 * sulfur + 0.44 * gen.normal();                // total SO2
+    const double alcohol_z = 0.4 * ripeness + 0.92 * gen.normal();
+    z[10] = alcohol_z;                                        // alcohol
+    z[7] = 0.45 * z[3] - 0.5 * alcohol_z + 0.55 * gen.normal();  // density
+    z[8] = -0.5 * z[0] + 0.75 * gen.normal();                 // pH vs acidity
+    z[9] = 0.25 * ripeness + 0.9 * gen.normal();              // sulphates
+
+    for (std::size_t j = 0; j < k_feature_count; ++j) {
+      const feature_stats& f = k_features[j];
+      data.features(i, j) = std::clamp(f.mean + f.std * z[j], f.min, f.max);
+    }
+
+    // Quality: the sparse ground truth of the UCI study — alcohol up,
+    // volatile acidity down, sulphates up, chlorides slightly down —
+    // plus taste-panel noise, rounded to the 3..8 score range.
+    const double score = 5.62 + 0.95 * z[10] - 0.70 * z[1] + 0.42 * z[9] -
+                         0.18 * z[4] - 0.12 * z[6] +
+                         config.noise * gen.normal();
+    data.targets[i] = std::clamp(std::round(score), 3.0, 8.0);
+  }
+  data.validate();
+  return data;
+}
+
+}  // namespace urmem

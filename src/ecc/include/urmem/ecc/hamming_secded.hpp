@@ -1,0 +1,96 @@
+// Single-error-correcting, double-error-detecting Hamming codes
+// (paper Sec. 2 — the classical ECC baseline).
+//
+// The extended Hamming construction: for d data bits, p Hamming parity
+// bits (smallest p with 2^p >= d + p + 1) sit at the power-of-two
+// positions of the codeword, and one overall parity bit extends the
+// minimum distance to 4. Instantiations used by the paper:
+//
+//   H(39,32) — d=32, p=6 (+1 overall)  : the SECDED baseline
+//   H(22,16) — d=16, p=5 (+1 overall)  : the P-ECC inner code [4, 12]
+//
+// Codewords are carried in a 64-bit word, so data widths up to 57 bits
+// are supported — enough for any row that fits the sram_array model.
+//
+// The H-matrix structure (cover masks, data-bit columns) is exposed for
+// the hardware cost model, which derives exact XOR-tree sizes from it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "urmem/common/bitops.hpp"
+
+namespace urmem {
+
+/// Outcome of a SECDED decode.
+enum class ecc_status : std::uint8_t {
+  clean,                   ///< no error observed
+  corrected,               ///< single error corrected
+  detected_uncorrectable,  ///< double (or wider even-weight) error detected
+};
+
+/// Decoded word plus the decoder's verdict.
+struct ecc_decode_result {
+  word_t data = 0;
+  ecc_status status = ecc_status::clean;
+};
+
+/// Extended Hamming SECDED codec for a configurable data width.
+class hamming_secded {
+ public:
+  /// Builds the code for `data_bits` in [1, 57].
+  explicit hamming_secded(unsigned data_bits);
+
+  /// Number of data bits d.
+  [[nodiscard]] unsigned data_bits() const { return data_bits_; }
+
+  /// Number of check bits including the overall parity bit (c = p + 1).
+  [[nodiscard]] unsigned check_bits() const { return parity_bits_ + 1; }
+
+  /// Codeword length n = d + p + 1, e.g. 39 for d=32, 22 for d=16.
+  [[nodiscard]] unsigned codeword_bits() const { return codeword_bits_; }
+
+  /// Encodes the low `data_bits` of `data` into a codeword.
+  [[nodiscard]] word_t encode(word_t data) const;
+
+  /// Decodes a (possibly corrupted) codeword; corrects any single-bit
+  /// error, flags any double-bit error as detected_uncorrectable and
+  /// returns the raw data bits unmodified in that case.
+  [[nodiscard]] ecc_decode_result decode(word_t stored) const;
+
+  /// Extracts the data bits of a codeword without any checking.
+  [[nodiscard]] word_t extract_data(word_t codeword) const;
+
+  /// Codeword column holding logical data bit `bit` (0 = LSB).
+  [[nodiscard]] unsigned data_column(unsigned bit) const;
+
+  /// Logical data bit stored at codeword column `column`, or -1 when the
+  /// column holds a check bit.
+  [[nodiscard]] int data_bit_at_column(unsigned column) const;
+
+  /// Cover mask of each Hamming parity bit over codeword columns
+  /// (parity position included); drives the hardware model's XOR trees.
+  [[nodiscard]] const std::vector<word_t>& parity_cover_masks() const {
+    return cover_masks_;
+  }
+
+ private:
+  unsigned data_bits_;
+  unsigned parity_bits_;
+  unsigned codeword_bits_;
+  std::vector<unsigned> data_columns_;   // codeword column of data bit i
+  std::vector<int> column_to_data_bit_;  // inverse map, -1 for check columns
+  std::vector<word_t> cover_masks_;      // per Hamming parity bit
+};
+
+/// The paper's SECDED baseline for 32-bit words.
+[[nodiscard]] inline hamming_secded make_h39_32() { return hamming_secded(32); }
+
+/// The paper's P-ECC inner code for 16-bit half-words.
+[[nodiscard]] inline hamming_secded make_h22_16() { return hamming_secded(16); }
+
+/// A compact code for byte-granular experiments.
+[[nodiscard]] inline hamming_secded make_h13_8() { return hamming_secded(8); }
+
+}  // namespace urmem

@@ -1,0 +1,65 @@
+// Structural netlist cost estimates for the hardware blocks each scheme
+// adds to the memory: SECDED encoders/decoders (exact gate counts from
+// the H-matrix), the barrel rotator of the bit-shuffling scheme, and
+// generic gate trees.
+#pragma once
+
+#include "urmem/ecc/hamming_secded.hpp"
+#include "urmem/hwmodel/gate_library.hpp"
+
+namespace urmem {
+
+/// Aggregated cost of a combinational block.
+struct logic_cost {
+  double area_um2 = 0.0;
+  double energy_fj = 0.0;       ///< per evaluation, activity already applied
+  double delay_ps = 0.0;        ///< critical path, routing included
+  double logic_delay_ps = 0.0;  ///< critical path, gates only (the unit of
+                                ///< the 13-gate-delay figure of ref. [17])
+  double gate_count = 0.0;
+
+  /// Blocks evaluated one after the other on the same path.
+  [[nodiscard]] logic_cost then(const logic_cost& next) const;
+
+  /// Blocks evaluated side by side (delay = max).
+  [[nodiscard]] logic_cost beside(const logic_cost& other) const;
+};
+
+/// Builds priced netlists from a gate library.
+class hw_blocks {
+ public:
+  explicit hw_blocks(gate_library lib) : lib_(lib) {}
+
+  [[nodiscard]] const gate_library& library() const { return lib_; }
+
+  /// Balanced XOR tree over `fan_in` inputs spread across `span_cols`
+  /// storage columns (span drives the routing term).
+  [[nodiscard]] logic_cost xor_tree(unsigned fan_in, unsigned span_cols) const;
+
+  /// Balanced AND tree over `fan_in` inputs (local routing).
+  [[nodiscard]] logic_cost and_tree(unsigned fan_in) const;
+
+  /// SECDED encoder: one parity tree per check bit, fan-ins taken from
+  /// the code's cover masks, plus the overall-parity tree.
+  [[nodiscard]] logic_cost secded_encoder(const hamming_secded& code) const;
+
+  /// SECDED decoder: syndrome trees, overall-parity tree, the
+  /// syndrome-to-position locator (one AND tree per codeword column),
+  /// correction XORs on the data columns, and status logic. The critical
+  /// path — syndrome, locate, correct — lands at ~13 FO4 gate delays for
+  /// H(39,32), matching ref. [17].
+  [[nodiscard]] logic_cost secded_decoder(const hamming_secded& code) const;
+
+  /// One direction of the bit-shuffling barrel rotator: `stages` mux
+  /// stages of `width` MUX2 cells; stage k routes a shift of
+  /// segment_size * 2^k columns.
+  [[nodiscard]] logic_cost barrel_rotator(unsigned width, unsigned stages) const;
+
+ private:
+  [[nodiscard]] logic_cost gates(const gate_cost& g, double count, double levels,
+                                 double route_cols = 0.0) const;
+
+  gate_library lib_;
+};
+
+}  // namespace urmem

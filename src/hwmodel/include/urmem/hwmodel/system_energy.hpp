@@ -1,0 +1,52 @@
+// System-level energy model: what voltage scaling actually buys.
+//
+// The paper's conclusion: the scheme "can be used to exploit the
+// properties of a variety of error-resilient applications for allowing
+// operation at scaled voltages". This model closes that loop — dynamic
+// read energy scales as VDD^2, so the *net* saving of an operating
+// point is the VDD^2 reduction minus the mitigation hardware's energy
+// overhead:
+//
+//   E_read(VDD)   = E_array(Vnom) * (VDD/Vnom)^2 + E_scheme(VDD)
+//   net_saving    = 1 - E_read(VDD) / E_array(Vnom)
+//
+// The scheme overhead also scales with VDD^2 (same silicon).
+#pragma once
+
+#include "urmem/hwmodel/overhead_model.hpp"
+
+namespace urmem {
+
+/// Dynamic-energy accounting for one memory read at a scaled supply.
+class system_energy_model {
+ public:
+  /// `array_read_energy_fj` is the unprotected array's per-read energy
+  /// at nominal supply `vnom` (all W columns + periphery).
+  system_energy_model(double array_read_energy_fj, double vnom = 1.0);
+
+  /// Builds the array energy from the SRAM macro model: W columns at
+  /// col_read_energy plus a periphery share.
+  static system_energy_model from_macro(const sram_macro_model& sram,
+                                        unsigned width, double vnom = 1.0,
+                                        double periphery_factor = 1.35);
+
+  [[nodiscard]] double vnom() const { return vnom_; }
+
+  /// Unprotected array read energy at `vdd` (quadratic scaling).
+  [[nodiscard]] double array_read_energy_fj(double vdd) const;
+
+  /// Total read energy at `vdd` with a scheme whose nominal-supply
+  /// read-path overhead is `scheme_overhead_fj`.
+  [[nodiscard]] double protected_read_energy_fj(double vdd,
+                                                double scheme_overhead_fj) const;
+
+  /// Net energy saving of (vdd, scheme) vs the nominal unprotected
+  /// read; negative when the overhead exceeds the scaling gain.
+  [[nodiscard]] double net_saving(double vdd, double scheme_overhead_fj) const;
+
+ private:
+  double base_energy_fj_;
+  double vnom_;
+};
+
+}  // namespace urmem

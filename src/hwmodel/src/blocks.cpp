@@ -1,0 +1,105 @@
+#include "urmem/hwmodel/blocks.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "urmem/common/bitops.hpp"
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+logic_cost logic_cost::then(const logic_cost& next) const {
+  return {area_um2 + next.area_um2, energy_fj + next.energy_fj,
+          delay_ps + next.delay_ps, logic_delay_ps + next.logic_delay_ps,
+          gate_count + next.gate_count};
+}
+
+logic_cost logic_cost::beside(const logic_cost& other) const {
+  return {area_um2 + other.area_um2, energy_fj + other.energy_fj,
+          std::max(delay_ps, other.delay_ps),
+          std::max(logic_delay_ps, other.logic_delay_ps),
+          gate_count + other.gate_count};
+}
+
+logic_cost hw_blocks::gates(const gate_cost& g, double count, double levels,
+                            double route_cols) const {
+  return {g.area_um2 * count, g.energy_fj * count * lib_.activity,
+          g.delay_ps * levels + lib_.route_ps_per_col * route_cols,
+          g.delay_ps * levels, count};
+}
+
+logic_cost hw_blocks::xor_tree(unsigned fan_in, unsigned span_cols) const {
+  if (fan_in <= 1) return {};
+  const double levels = static_cast<double>(ceil_log2(fan_in));
+  return gates(lib_.xor2, static_cast<double>(fan_in - 1), levels,
+               static_cast<double>(span_cols));
+}
+
+logic_cost hw_blocks::and_tree(unsigned fan_in) const {
+  if (fan_in <= 1) return {};
+  const double levels = static_cast<double>(ceil_log2(fan_in));
+  return gates(lib_.and2, static_cast<double>(fan_in - 1), levels);
+}
+
+logic_cost hw_blocks::secded_encoder(const hamming_secded& code) const {
+  logic_cost total;
+  // Parity trees see only the data bits (parity columns are outputs).
+  for (const word_t mask : code.parity_cover_masks()) {
+    unsigned fan_in = 0;
+    for (unsigned bit = 0; bit < code.data_bits(); ++bit) {
+      if (get_bit(mask, code.data_column(bit))) ++fan_in;
+    }
+    total = total.beside(xor_tree(fan_in, code.codeword_bits()));
+  }
+  // Overall parity over the d + p bits above column 0.
+  total = total.beside(xor_tree(code.codeword_bits() - 1, code.codeword_bits()));
+  return total;
+}
+
+logic_cost hw_blocks::secded_decoder(const hamming_secded& code) const {
+  // Syndrome trees (one per Hamming parity bit, full cover fan-in).
+  logic_cost syndrome;
+  for (const word_t mask : code.parity_cover_masks()) {
+    syndrome = syndrome.beside(
+        xor_tree(static_cast<unsigned>(std::popcount(mask)), code.codeword_bits()));
+  }
+  // Overall-parity tree: off the correction path (it only resolves
+  // corrected vs detected), but its area/energy count.
+  const logic_cost overall = xor_tree(code.codeword_bits(), code.codeword_bits());
+
+  // Locator: per codeword column, an AND tree over the p syndrome bits.
+  const unsigned p = code.check_bits() - 1;
+  logic_cost locator;
+  for (unsigned column = 1; column < code.codeword_bits(); ++column) {
+    locator = locator.beside(and_tree(p));
+  }
+
+  // Correction XOR on each data column + status reduction logic.
+  const logic_cost correct = gates(lib_.xor2, code.data_bits(), 1.0);
+  const logic_cost status = gates(lib_.or2, p + 2.0, 0.0);
+
+  // Area/energy: everything. Delay: the correction path
+  // syndrome -> one locator AND tree -> correction XOR; the overall
+  // parity and the per-column locator copies evaluate in parallel.
+  logic_cost total =
+      syndrome.beside(overall).beside(locator).beside(correct).beside(status);
+  total.delay_ps = syndrome.delay_ps + and_tree(p).delay_ps + lib_.xor2.delay_ps;
+  total.logic_delay_ps =
+      syndrome.logic_delay_ps + and_tree(p).logic_delay_ps + lib_.xor2.delay_ps;
+  return total;
+}
+
+logic_cost hw_blocks::barrel_rotator(unsigned width, unsigned stages) const {
+  expects(stages >= 1 && stages <= ceil_log2(width),
+          "rotator stages must be 1..log2(width)");
+  logic_cost total;
+  const unsigned segment = width >> stages;  // smallest shift stride
+  for (unsigned k = 0; k < stages; ++k) {
+    const unsigned shift_cols = segment << k;
+    total = total.then(gates(lib_.mux2, width, 1.0, shift_cols));
+  }
+  return total;
+}
+
+}  // namespace urmem

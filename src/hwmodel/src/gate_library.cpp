@@ -1,0 +1,18 @@
+#include "urmem/hwmodel/gate_library.hpp"
+
+namespace urmem {
+
+gate_library gate_library::fdsoi_28nm() {
+  gate_library lib;
+  lib.inv = {0.33, 10.0, 0.35};
+  lib.nand2 = {0.49, 14.0, 0.55};
+  lib.and2 = {0.65, 20.0, 0.70};
+  lib.or2 = {0.65, 22.0, 0.70};
+  lib.xor2 = {0.98, 24.0, 1.10};
+  lib.mux2 = {0.98, 22.0, 0.85};
+  return lib;
+}
+
+sram_macro_model sram_macro_model::fdsoi_28nm() { return {}; }
+
+}  // namespace urmem

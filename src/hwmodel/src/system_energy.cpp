@@ -1,0 +1,40 @@
+#include "urmem/hwmodel/system_energy.hpp"
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+system_energy_model::system_energy_model(double array_read_energy_fj, double vnom)
+    : base_energy_fj_(array_read_energy_fj), vnom_(vnom) {
+  expects(array_read_energy_fj > 0.0, "array read energy must be positive");
+  expects(vnom > 0.0, "nominal supply must be positive");
+}
+
+system_energy_model system_energy_model::from_macro(const sram_macro_model& sram,
+                                                    unsigned width, double vnom,
+                                                    double periphery_factor) {
+  expects(width >= 1, "width must be positive");
+  expects(periphery_factor >= 1.0, "periphery factor must be >= 1");
+  return system_energy_model(
+      width * sram.col_read_energy_fj * periphery_factor, vnom);
+}
+
+double system_energy_model::array_read_energy_fj(double vdd) const {
+  expects(vdd > 0.0, "vdd must be positive");
+  const double ratio = vdd / vnom_;
+  return base_energy_fj_ * ratio * ratio;
+}
+
+double system_energy_model::protected_read_energy_fj(
+    double vdd, double scheme_overhead_fj) const {
+  expects(scheme_overhead_fj >= 0.0, "scheme overhead must be nonnegative");
+  const double ratio = vdd / vnom_;
+  return array_read_energy_fj(vdd) + scheme_overhead_fj * ratio * ratio;
+}
+
+double system_energy_model::net_saving(double vdd, double scheme_overhead_fj) const {
+  return 1.0 - protected_read_energy_fj(vdd, scheme_overhead_fj) /
+                   array_read_energy_fj(vnom_);
+}
+
+}  // namespace urmem

@@ -1,0 +1,117 @@
+// Persistent bit-cell fault maps.
+//
+// Once an SRAM array is manufactured (or operated at a given supply
+// voltage) the set of failing bit-cells is fixed (paper Sec. 2). A
+// fault_map records those cells together with their failure behaviour and
+// can corrupt a stored word the way the physical array would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "urmem/common/bitops.hpp"
+
+namespace urmem {
+
+/// Array geometry: `rows` words of `width` bits each.
+struct array_geometry {
+  std::uint32_t rows = 0;
+  std::uint32_t width = 0;
+
+  /// Total number of bit-cells M = R * W (paper Sec. 2).
+  [[nodiscard]] constexpr std::uint64_t cells() const {
+    return static_cast<std::uint64_t>(rows) * width;
+  }
+
+  /// Linear index of cell (row, col); col 0 is the word's LSB.
+  [[nodiscard]] constexpr std::uint64_t cell_index(std::uint32_t row,
+                                                   std::uint32_t col) const {
+    return static_cast<std::uint64_t>(row) * width + col;
+  }
+
+  friend constexpr bool operator==(const array_geometry&, const array_geometry&) = default;
+};
+
+/// The standard 16 KB data memory of the paper: 4096 rows x 32 bits.
+[[nodiscard]] constexpr array_geometry geometry_16kb_x32() { return {4096, 32}; }
+
+/// How a failing cell corrupts the bit written to it.
+enum class fault_kind : std::uint8_t {
+  stuck_at_zero,         ///< cell always reads 0
+  stuck_at_one,          ///< cell always reads 1
+  flip,                  ///< cell always reads the complement of the stored bit
+  transition_up_fail,    ///< cell cannot perform a 0 -> 1 write transition
+  transition_down_fail,  ///< cell cannot perform a 1 -> 0 write transition
+};
+
+/// One failing bit-cell.
+struct fault {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;  ///< bit position within the word, 0 = LSB
+  fault_kind kind = fault_kind::flip;
+
+  friend constexpr bool operator==(const fault&, const fault&) = default;
+};
+
+/// Set of failing cells of one array instance, with O(1) per-row corruption.
+class fault_map {
+ public:
+  fault_map() = default;
+
+  /// Creates an empty (fault-free) map for the given geometry.
+  explicit fault_map(array_geometry geometry);
+
+  [[nodiscard]] const array_geometry& geometry() const { return geometry_; }
+
+  /// Registers a failing cell. Re-adding the same cell replaces its kind.
+  void add(const fault& f);
+
+  /// Total number of failing cells N.
+  [[nodiscard]] std::uint64_t fault_count() const { return count_; }
+
+  /// True when row `row` contains at least one failing cell.
+  [[nodiscard]] bool row_has_faults(std::uint32_t row) const;
+
+  /// Failing cells in `row`, in ascending column order.
+  [[nodiscard]] std::vector<fault> faults_in_row(std::uint32_t row) const;
+
+  /// All failing cells, in ascending (row, col) order.
+  [[nodiscard]] std::vector<fault> all_faults() const;
+
+  /// Rows that contain at least one failing cell, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> faulty_rows() const;
+
+  /// Returns the word actually read back when `ideal` is stored in `row`.
+  /// Covers the read-visible kinds (stuck-at, flip); transition faults
+  /// act at write time — see apply_write.
+  [[nodiscard]] word_t corrupt(std::uint32_t row, word_t ideal) const;
+
+  /// Write-time fault semantics: the cell contents after writing
+  /// `incoming` over the previous contents `old` of `row`. Transition-
+  /// fault cells keep their old bit when the blocked transition is
+  /// requested; all other kinds store `incoming` (their corruption is
+  /// applied on read).
+  [[nodiscard]] word_t apply_write(std::uint32_t row, word_t old,
+                                   word_t incoming) const;
+
+  /// Columns of `row` whose read value differs from `ideal` when `ideal`
+  /// is stored (i.e. faults that are *active* for this data pattern).
+  [[nodiscard]] std::vector<std::uint32_t> active_fault_columns(std::uint32_t row,
+                                                                word_t ideal) const;
+
+ private:
+  struct row_state {
+    word_t and_mask = ~word_t{0};  ///< clears stuck-at-0 columns
+    word_t or_mask = 0;            ///< sets stuck-at-1 columns
+    word_t xor_mask = 0;           ///< inverts flip columns
+    word_t tf_up_mask = 0;         ///< columns that cannot rise 0 -> 1
+    word_t tf_down_mask = 0;       ///< columns that cannot fall 1 -> 0
+    word_t fault_cols = 0;         ///< all faulty columns of the row
+  };
+
+  array_geometry geometry_{};
+  std::vector<row_state> rows_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace urmem

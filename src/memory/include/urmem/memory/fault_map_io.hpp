@@ -1,0 +1,39 @@
+// Fault-map serialization.
+//
+// Post-fabrication test equipment exports fault maps; POST firmware
+// reloads them. The format is a line-oriented text file, diffable and
+// versionable:
+//
+//   urmem-faultmap v1
+//   geometry <rows> <width>
+//   fault <row> <col> <kind>
+//   ...
+//
+// with kind one of: sa0, sa1, flip, tfup, tfdown.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "urmem/memory/fault_map.hpp"
+
+namespace urmem {
+
+/// Writes `map` in the v1 text format.
+void write_fault_map(std::ostream& out, const fault_map& map);
+
+/// Parses a v1 text fault map. Throws std::invalid_argument on
+/// malformed input (bad header, unknown kind, out-of-range cells).
+[[nodiscard]] fault_map read_fault_map(std::istream& in);
+
+/// Convenience file wrappers.
+void save_fault_map(const std::string& path, const fault_map& map);
+[[nodiscard]] fault_map load_fault_map(const std::string& path);
+
+/// Human-readable kind name used by the format (e.g. "sa0").
+[[nodiscard]] std::string fault_kind_name(fault_kind kind);
+
+/// Inverse of fault_kind_name; throws on unknown names.
+[[nodiscard]] fault_kind fault_kind_from_name(const std::string& name);
+
+}  // namespace urmem

@@ -1,0 +1,40 @@
+// Monte-Carlo fault-map generation (paper Secs. 4-5).
+//
+// The evaluation injects "maps of random bit-flip locations for each
+// failure count" (Fig. 5) and binomially distributed failure counts for
+// the application study (Fig. 7). Samplers here produce:
+//  * exactly-n-fault maps with positions uniform over the array, and
+//  * maps whose count is drawn from Binomial(M, Pcell).
+#pragma once
+
+#include <cstdint>
+
+#include "urmem/common/binomial.hpp"
+#include "urmem/common/rng.hpp"
+#include "urmem/memory/fault_map.hpp"
+
+namespace urmem {
+
+/// How injected faults corrupt the stored bit.
+enum class fault_polarity : std::uint8_t {
+  flip,          ///< deterministic inversion — the paper's "bit-flip" injection
+  random_stuck,  ///< stuck-at-0 / stuck-at-1 with equal probability
+  mixed,         ///< realistic manufacturing mix: 35% SA0, 35% SA1,
+                 ///< 10% flip, 10% TF-up, 10% TF-down
+};
+
+/// Draws a map with exactly `n` faults at distinct uniform cell positions.
+/// `n` must not exceed the number of cells.
+[[nodiscard]] fault_map sample_fault_map_exact(const array_geometry& geometry,
+                                               std::uint64_t n, rng& gen,
+                                               fault_polarity polarity =
+                                                   fault_polarity::flip);
+
+/// Draws a map whose fault count follows Binomial(cells, pcell).
+[[nodiscard]] fault_map sample_fault_map_binomial(const array_geometry& geometry,
+                                                  const binomial_distribution& dist,
+                                                  rng& gen,
+                                                  fault_polarity polarity =
+                                                      fault_polarity::flip);
+
+}  // namespace urmem

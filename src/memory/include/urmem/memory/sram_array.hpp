@@ -1,0 +1,62 @@
+// Functional model of an unreliable SRAM array (paper Fig. 1).
+//
+// The array stores one word per row and applies its fault map on every
+// read — the software equivalent of reading through failing bit-cells.
+// A fault-free back door (read_ideal / raw word access) is provided for
+// test oracles and for the BIST engine's expected-data comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "urmem/common/bitops.hpp"
+#include "urmem/memory/fault_map.hpp"
+
+namespace urmem {
+
+/// R x W bit SRAM with persistent stuck-at / flip faults.
+class sram_array {
+ public:
+  /// Fault-free array of the given geometry.
+  explicit sram_array(array_geometry geometry);
+
+  /// Array with the given fault map (geometry taken from the map).
+  explicit sram_array(fault_map faults);
+
+  [[nodiscard]] const array_geometry& geometry() const { return faults_.geometry(); }
+  [[nodiscard]] const fault_map& faults() const { return faults_; }
+
+  /// Replaces the fault map (e.g. after re-running BIST at a new supply
+  /// voltage). Geometry must match; stored data is preserved.
+  void set_faults(fault_map faults);
+
+  /// Number of rows R.
+  [[nodiscard]] std::uint32_t rows() const { return geometry().rows; }
+
+  /// Word width W in bits.
+  [[nodiscard]] unsigned width() const { return geometry().width; }
+
+  /// Stores `value` (low W bits) into `row`.
+  void write(std::uint32_t row, word_t value);
+
+  /// Reads `row` through the faulty cells.
+  [[nodiscard]] word_t read(std::uint32_t row) const;
+
+  /// Reads `row` bypassing the faults (test/BIST oracle only; a real
+  /// array has no such port).
+  [[nodiscard]] word_t read_ideal(std::uint32_t row) const;
+
+  /// Fills every row with `value`.
+  void fill(word_t value);
+
+  /// Total accesses performed so far (reads + writes), for the energy
+  /// accounting in the hardware model examples.
+  [[nodiscard]] std::uint64_t access_count() const { return accesses_; }
+
+ private:
+  fault_map faults_;
+  std::vector<word_t> data_;
+  mutable std::uint64_t accesses_ = 0;
+};
+
+}  // namespace urmem

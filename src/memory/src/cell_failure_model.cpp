@@ -1,0 +1,81 @@
+#include "urmem/memory/cell_failure_model.hpp"
+
+#include <cmath>
+
+#include "urmem/common/contracts.hpp"
+#include "urmem/common/stats.hpp"
+
+namespace urmem {
+
+cell_failure_model::cell_failure_model(double vcrit_mean, double vcrit_sigma,
+                                       std::uint64_t seed)
+    : mean_(vcrit_mean),
+      sigma_(vcrit_sigma),
+      vcrit_hash_(splitmix64(seed ^ 0x7663726974ULL)),  // "vcrit"
+      kind_hash_(splitmix64(seed ^ 0x6b696e64ULL)) {    // "kind"
+  expects(vcrit_sigma > 0.0, "vcrit sigma must be positive");
+}
+
+cell_failure_model cell_failure_model::default_28nm(std::uint64_t seed) {
+  // Solve the two-anchor system Pcell(1.0)=1e-9, Pcell(0.73)=1e-4:
+  //   (1.00 - mu)/sigma = z(1 - 1e-9) = 5.9978
+  //   (0.73 - mu)/sigma = z(1 - 1e-4) = 3.7190
+  // => sigma = 0.27/2.2788 = 0.11848, mu = 1.0 - 5.9978*sigma = 0.28937.
+  return cell_failure_model(0.28937, 0.11848, seed);
+}
+
+double cell_failure_model::pcell(double vdd) const {
+  return normal_cdf((mean_ - vdd) / sigma_);
+}
+
+double cell_failure_model::vdd_for_pcell(double p) const {
+  expects(p > 0.0 && p < 1.0, "pcell must be in (0,1)");
+  return mean_ - sigma_ * normal_quantile(p);
+}
+
+double cell_failure_model::array_yield(std::uint64_t cells, double pcell) {
+  expects(pcell >= 0.0 && pcell <= 1.0, "pcell must be in [0,1]");
+  if (pcell >= 1.0) return 0.0;
+  return std::exp(static_cast<double>(cells) * std::log1p(-pcell));
+}
+
+double cell_failure_model::vcrit(std::uint64_t cell_index) const {
+  return mean_ + sigma_ * normal_quantile(vcrit_hash_.uniform(cell_index));
+}
+
+bool cell_failure_model::fails_at(std::uint64_t cell_index, double vdd) const {
+  return vcrit(cell_index) > vdd;
+}
+
+fault_kind cell_failure_model::stuck_kind(std::uint64_t cell_index) const {
+  return (kind_hash_.bits(cell_index) & 1) != 0 ? fault_kind::stuck_at_one
+                                                : fault_kind::stuck_at_zero;
+}
+
+cell_failure_model cell_failure_model::aged(double vcrit_shift) const {
+  expects(vcrit_shift >= 0.0, "aging can only raise critical voltages");
+  cell_failure_model aged_model = *this;  // same hashes: per-cell identity kept
+  aged_model.mean_ += vcrit_shift;
+  return aged_model;
+}
+
+double cell_failure_model::bti_vcrit_shift(double hours, double mv_per_decade) {
+  expects(hours >= 0.0, "stress time must be nonnegative");
+  return mv_per_decade * 1e-3 * std::log10(1.0 + hours);
+}
+
+fault_map cell_failure_model::faults_at_voltage(const array_geometry& geometry,
+                                                double vdd) const {
+  fault_map map(geometry);
+  for (std::uint32_t row = 0; row < geometry.rows; ++row) {
+    for (std::uint32_t col = 0; col < geometry.width; ++col) {
+      const std::uint64_t index = geometry.cell_index(row, col);
+      if (fails_at(index, vdd)) {
+        map.add(fault{row, col, stuck_kind(index)});
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace urmem

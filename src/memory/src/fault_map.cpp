@@ -1,0 +1,112 @@
+#include "urmem/memory/fault_map.hpp"
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+fault_map::fault_map(array_geometry geometry) : geometry_(geometry) {
+  expects(geometry.rows >= 1, "fault_map requires at least one row");
+  expects(is_valid_width(geometry.width), "fault_map word width must be 1..64");
+  rows_.resize(geometry.rows);
+}
+
+void fault_map::add(const fault& f) {
+  expects(f.row < geometry_.rows, "fault row out of range");
+  expects(f.col < geometry_.width, "fault column out of range");
+  row_state& state = rows_[f.row];
+  const word_t bit = word_t{1} << f.col;
+  if ((state.fault_cols & bit) == 0) {
+    state.fault_cols |= bit;
+    ++count_;
+  } else {
+    // Replacing an existing fault: clear its previous behaviour first.
+    state.and_mask |= bit;
+    state.or_mask &= ~bit;
+    state.xor_mask &= ~bit;
+    state.tf_up_mask &= ~bit;
+    state.tf_down_mask &= ~bit;
+  }
+  switch (f.kind) {
+    case fault_kind::stuck_at_zero: state.and_mask &= ~bit; break;
+    case fault_kind::stuck_at_one: state.or_mask |= bit; break;
+    case fault_kind::flip: state.xor_mask |= bit; break;
+    case fault_kind::transition_up_fail: state.tf_up_mask |= bit; break;
+    case fault_kind::transition_down_fail: state.tf_down_mask |= bit; break;
+  }
+}
+
+bool fault_map::row_has_faults(std::uint32_t row) const {
+  expects(row < geometry_.rows, "row out of range");
+  return rows_[row].fault_cols != 0;
+}
+
+std::vector<fault> fault_map::faults_in_row(std::uint32_t row) const {
+  expects(row < geometry_.rows, "row out of range");
+  std::vector<fault> out;
+  const row_state& state = rows_[row];
+  for (std::uint32_t col = 0; col < geometry_.width; ++col) {
+    const word_t bit = word_t{1} << col;
+    if ((state.fault_cols & bit) == 0) continue;
+    fault f{row, col, fault_kind::flip};
+    if ((state.and_mask & bit) == 0) f.kind = fault_kind::stuck_at_zero;
+    else if ((state.or_mask & bit) != 0) f.kind = fault_kind::stuck_at_one;
+    else if ((state.tf_up_mask & bit) != 0) f.kind = fault_kind::transition_up_fail;
+    else if ((state.tf_down_mask & bit) != 0) {
+      f.kind = fault_kind::transition_down_fail;
+    }
+    out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<fault> fault_map::all_faults() const {
+  std::vector<fault> out;
+  out.reserve(count_);
+  for (std::uint32_t row = 0; row < geometry_.rows; ++row) {
+    if (rows_[row].fault_cols == 0) continue;
+    const auto row_faults = faults_in_row(row);
+    out.insert(out.end(), row_faults.begin(), row_faults.end());
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> fault_map::faulty_rows() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t row = 0; row < geometry_.rows; ++row) {
+    if (rows_[row].fault_cols != 0) out.push_back(row);
+  }
+  return out;
+}
+
+word_t fault_map::corrupt(std::uint32_t row, word_t ideal) const {
+  expects(row < geometry_.rows, "row out of range");
+  const row_state& state = rows_[row];
+  ideal &= word_mask(geometry_.width);
+  return (((ideal & state.and_mask) | state.or_mask) ^ state.xor_mask) &
+         word_mask(geometry_.width);
+}
+
+word_t fault_map::apply_write(std::uint32_t row, word_t old, word_t incoming) const {
+  expects(row < geometry_.rows, "row out of range");
+  const row_state& state = rows_[row];
+  const word_t mask = word_mask(geometry_.width);
+  old &= mask;
+  incoming &= mask;
+  // A blocked rising transition keeps the old 0; a blocked falling
+  // transition keeps the old 1.
+  const word_t blocked_up = state.tf_up_mask & ~old & incoming;
+  const word_t blocked_down = state.tf_down_mask & old & ~incoming;
+  return ((incoming & ~blocked_up) | blocked_down) & mask;
+}
+
+std::vector<std::uint32_t> fault_map::active_fault_columns(std::uint32_t row,
+                                                           word_t ideal) const {
+  const word_t diff = corrupt(row, ideal) ^ (ideal & word_mask(geometry_.width));
+  std::vector<std::uint32_t> cols;
+  for (std::uint32_t col = 0; col < geometry_.width; ++col) {
+    if (get_bit(diff, col)) cols.push_back(col);
+  }
+  return cols;
+}
+
+}  // namespace urmem

@@ -1,0 +1,84 @@
+#include "urmem/memory/fault_map_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+std::string fault_kind_name(fault_kind kind) {
+  switch (kind) {
+    case fault_kind::stuck_at_zero: return "sa0";
+    case fault_kind::stuck_at_one: return "sa1";
+    case fault_kind::flip: return "flip";
+    case fault_kind::transition_up_fail: return "tfup";
+    case fault_kind::transition_down_fail: return "tfdown";
+  }
+  return "unknown";
+}
+
+fault_kind fault_kind_from_name(const std::string& name) {
+  if (name == "sa0") return fault_kind::stuck_at_zero;
+  if (name == "sa1") return fault_kind::stuck_at_one;
+  if (name == "flip") return fault_kind::flip;
+  if (name == "tfup") return fault_kind::transition_up_fail;
+  if (name == "tfdown") return fault_kind::transition_down_fail;
+  throw std::invalid_argument("unknown fault kind: " + name);
+}
+
+void write_fault_map(std::ostream& out, const fault_map& map) {
+  out << "urmem-faultmap v1\n";
+  out << "geometry " << map.geometry().rows << " " << map.geometry().width << "\n";
+  for (const fault& f : map.all_faults()) {
+    out << "fault " << f.row << " " << f.col << " " << fault_kind_name(f.kind)
+        << "\n";
+  }
+}
+
+fault_map read_fault_map(std::istream& in) {
+  std::string line;
+  expects(static_cast<bool>(std::getline(in, line)), "empty fault map file");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  expects(line == "urmem-faultmap v1", "bad fault map header: " + line);
+
+  expects(static_cast<bool>(std::getline(in, line)), "missing geometry line");
+  std::istringstream geo(line);
+  std::string tag;
+  std::uint32_t rows = 0;
+  std::uint32_t width = 0;
+  geo >> tag >> rows >> width;
+  expects(tag == "geometry" && !geo.fail(), "bad geometry line: " + line);
+
+  fault_map map({rows, width});
+  std::size_t line_no = 2;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream ss(line);
+    std::string kind_name;
+    std::uint32_t row = 0;
+    std::uint32_t col = 0;
+    ss >> tag >> row >> col >> kind_name;
+    expects(tag == "fault" && !ss.fail(),
+            "bad fault line " + std::to_string(line_no) + ": " + line);
+    map.add(fault{row, col, fault_kind_from_name(kind_name)});
+  }
+  return map;
+}
+
+void save_fault_map(const std::string& path, const fault_map& map) {
+  std::ofstream out(path);
+  expects(out.good(), "cannot open for writing: " + path);
+  write_fault_map(out, map);
+  expects(out.good(), "write failed: " + path);
+}
+
+fault_map load_fault_map(const std::string& path) {
+  std::ifstream in(path);
+  expects(in.good(), "cannot open fault map file: " + path);
+  return read_fault_map(in);
+}
+
+}  // namespace urmem

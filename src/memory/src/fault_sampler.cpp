@@ -1,0 +1,59 @@
+#include "urmem/memory/fault_sampler.hpp"
+
+#include <unordered_set>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+namespace {
+
+fault_kind draw_kind(rng& gen, fault_polarity polarity) {
+  switch (polarity) {
+    case fault_polarity::flip: return fault_kind::flip;
+    case fault_polarity::random_stuck:
+      return (gen() & 1) != 0 ? fault_kind::stuck_at_one : fault_kind::stuck_at_zero;
+    case fault_polarity::mixed: {
+      const std::uint64_t roll = gen.uniform_below(100);
+      if (roll < 35) return fault_kind::stuck_at_zero;
+      if (roll < 70) return fault_kind::stuck_at_one;
+      if (roll < 80) return fault_kind::flip;
+      if (roll < 90) return fault_kind::transition_up_fail;
+      return fault_kind::transition_down_fail;
+    }
+  }
+  return fault_kind::flip;
+}
+
+}  // namespace
+
+fault_map sample_fault_map_exact(const array_geometry& geometry, std::uint64_t n,
+                                 rng& gen, fault_polarity polarity) {
+  const std::uint64_t cells = geometry.cells();
+  expects(n <= cells, "cannot place more faults than cells");
+  fault_map map(geometry);
+
+  // Robert Floyd's algorithm: n distinct values from [0, cells) in O(n).
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(n) * 2);
+  for (std::uint64_t j = cells - n; j < cells; ++j) {
+    const std::uint64_t t = gen.uniform_below(j + 1);
+    const std::uint64_t pick = chosen.contains(t) ? j : t;
+    chosen.insert(pick);
+    const auto row = static_cast<std::uint32_t>(pick / geometry.width);
+    const auto col = static_cast<std::uint32_t>(pick % geometry.width);
+    map.add(fault{row, col, draw_kind(gen, polarity)});
+  }
+  return map;
+}
+
+fault_map sample_fault_map_binomial(const array_geometry& geometry,
+                                    const binomial_distribution& dist, rng& gen,
+                                    fault_polarity polarity) {
+  expects(dist.trials() == geometry.cells(),
+          "binomial trial count must equal the number of cells");
+  const std::uint64_t n = dist.sample(gen);
+  return sample_fault_map_exact(geometry, n, gen, polarity);
+}
+
+}  // namespace urmem

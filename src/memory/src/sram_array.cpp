@@ -1,0 +1,40 @@
+#include "urmem/memory/sram_array.hpp"
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+sram_array::sram_array(array_geometry geometry) : sram_array(fault_map(geometry)) {}
+
+sram_array::sram_array(fault_map faults)
+    : faults_(std::move(faults)), data_(faults_.geometry().rows, 0) {}
+
+void sram_array::set_faults(fault_map faults) {
+  expects(faults.geometry() == geometry(), "fault map geometry mismatch");
+  faults_ = std::move(faults);
+}
+
+void sram_array::write(std::uint32_t row, word_t value) {
+  expects(row < rows(), "row out of range");
+  // Transition-fault cells refuse the blocked transition; all other
+  // fault kinds corrupt on read.
+  data_[row] = faults_.apply_write(row, data_[row], value & word_mask(width()));
+  ++accesses_;
+}
+
+word_t sram_array::read(std::uint32_t row) const {
+  expects(row < rows(), "row out of range");
+  ++accesses_;
+  return faults_.corrupt(row, data_[row]);
+}
+
+word_t sram_array::read_ideal(std::uint32_t row) const {
+  expects(row < rows(), "row out of range");
+  return data_[row];
+}
+
+void sram_array::fill(word_t value) {
+  for (std::uint32_t row = 0; row < rows(); ++row) write(row, value);
+}
+
+}  // namespace urmem

@@ -1,0 +1,38 @@
+// K-nearest-neighbors classification — the paper's classification
+// benchmark (Table 1, activity-recognition dataset, score metric).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "urmem/ml/matrix.hpp"
+
+namespace urmem {
+
+/// Brute-force Euclidean KNN with majority vote (ties break toward the
+/// smaller label, matching scikit-learn's deterministic behaviour).
+class knn_classifier {
+ public:
+  /// `k` neighbors considered per query.
+  explicit knn_classifier(std::size_t k = 5);
+
+  /// Stores the training set (n x p features, n labels).
+  void fit(matrix x, std::vector<int> labels);
+
+  /// Predicted label of one query row.
+  [[nodiscard]] int predict_one(std::span<const double> query) const;
+
+  /// Predicted labels for every row of `x`.
+  [[nodiscard]] std::vector<int> predict(const matrix& x) const;
+
+  /// Mean accuracy on a labeled holdout set.
+  [[nodiscard]] double score(const matrix& x, const std::vector<int>& labels) const;
+
+ private:
+  std::size_t k_;
+  matrix train_;
+  std::vector<int> labels_;
+};
+
+}  // namespace urmem

@@ -1,0 +1,30 @@
+// Quality metrics of Table 1: R^2 (Elasticnet), explained variance
+// (PCA), classification score (KNN), plus the regression MSE.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace urmem {
+
+/// Coefficient of determination R^2 = 1 - SS_res / SS_tot.
+/// A constant truth vector yields 0 unless the prediction is exact.
+[[nodiscard]] double r2_score(std::span<const double> truth,
+                              std::span<const double> prediction);
+
+/// Mean squared prediction error.
+[[nodiscard]] double mean_squared_error(std::span<const double> truth,
+                                        std::span<const double> prediction);
+
+/// Fraction of matching labels.
+[[nodiscard]] double accuracy_score(std::span<const int> truth,
+                                    std::span<const int> prediction);
+
+/// Peak signal-to-noise ratio in dB: 10*log10(peak^2 / MSE). Returns
+/// +infinity for identical signals — the multimedia quality metric of
+/// the P-ECC prior art (paper Sec. 2, refs. [4, 12]).
+[[nodiscard]] double psnr_db(std::span<const double> reference,
+                             std::span<const double> degraded,
+                             double peak = 255.0);
+
+}  // namespace urmem

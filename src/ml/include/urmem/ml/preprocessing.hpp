@@ -1,0 +1,57 @@
+// Feature preprocessing mirroring the scikit-learn pipeline the paper's
+// benchmarks use: standardization and train/test splitting (0.8:0.2 in
+// Sec. 5.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "urmem/common/rng.hpp"
+#include "urmem/ml/matrix.hpp"
+
+namespace urmem {
+
+/// Zero-mean, unit-variance feature scaling (fit on train, apply to both).
+class standard_scaler {
+ public:
+  /// Learns per-column mean and standard deviation from `x`.
+  void fit(const matrix& x);
+
+  /// Applies the learned transform; fit() must have been called.
+  [[nodiscard]] matrix transform(const matrix& x) const;
+
+  /// fit + transform in one step.
+  [[nodiscard]] matrix fit_transform(const matrix& x);
+
+  [[nodiscard]] const std::vector<double>& means() const { return means_; }
+  [[nodiscard]] const std::vector<double>& scales() const { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+/// Index split for holdout evaluation.
+struct split_indices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Random permutation split with `test_fraction` of rows held out.
+[[nodiscard]] split_indices train_test_split(std::size_t n_rows, double test_fraction,
+                                             rng& gen);
+
+/// Gathers the given rows of `x` into a new matrix.
+[[nodiscard]] matrix take_rows(const matrix& x, const std::vector<std::size_t>& rows);
+
+/// Gathers the given entries of `v` into a new vector.
+template <typename T>
+[[nodiscard]] std::vector<T> take(const std::vector<T>& v,
+                                  const std::vector<std::size_t>& idx) {
+  std::vector<T> out;
+  out.reserve(idx.size());
+  for (const std::size_t i : idx) out.push_back(v[i]);
+  return out;
+}
+
+}  // namespace urmem

@@ -1,0 +1,66 @@
+#include "urmem/ml/knn.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "urmem/common/contracts.hpp"
+#include "urmem/ml/metrics.hpp"
+
+namespace urmem {
+
+knn_classifier::knn_classifier(std::size_t k) : k_(k) {
+  expects(k >= 1, "k must be at least 1");
+}
+
+void knn_classifier::fit(matrix x, std::vector<int> labels) {
+  expects(x.rows() == labels.size(), "feature/label count mismatch");
+  expects(x.rows() >= k_, "training set smaller than k");
+  train_ = std::move(x);
+  labels_ = std::move(labels);
+}
+
+int knn_classifier::predict_one(std::span<const double> query) const {
+  expects(!labels_.empty(), "fit must be called before predict");
+  expects(query.size() == train_.cols(), "query dimension mismatch");
+
+  std::vector<std::pair<double, std::size_t>> distances;
+  distances.reserve(train_.rows());
+  for (std::size_t i = 0; i < train_.rows(); ++i) {
+    const auto row = train_.row(i);
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < query.size(); ++j) {
+      const double d = row[j] - query[j];
+      d2 += d * d;
+    }
+    distances.emplace_back(d2, i);
+  }
+  std::partial_sort(distances.begin(),
+                    distances.begin() + static_cast<std::ptrdiff_t>(k_),
+                    distances.end());
+
+  std::map<int, std::size_t> votes;  // ordered: ties resolve to smaller label
+  for (std::size_t i = 0; i < k_; ++i) ++votes[labels_[distances[i].second]];
+  int best_label = votes.begin()->first;
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+std::vector<int> knn_classifier::predict(const matrix& x) const {
+  std::vector<int> out;
+  out.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out.push_back(predict_one(x.row(i)));
+  return out;
+}
+
+double knn_classifier::score(const matrix& x, const std::vector<int>& labels) const {
+  const std::vector<int> predicted = predict(x);
+  return accuracy_score(labels, predicted);
+}
+
+}  // namespace urmem

@@ -1,0 +1,85 @@
+#include "urmem/ml/matrix.hpp"
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+matrix::matrix(std::size_t rows, std::size_t cols, double value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {
+  expects(rows >= 1 && cols >= 1, "matrix dimensions must be positive");
+}
+
+std::vector<double> matrix::col(std::size_t c) const {
+  expects(c < cols_, "column out of range");
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+matrix transpose(const matrix& a) {
+  matrix out(a.cols(), a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
+  }
+  return out;
+}
+
+matrix matmul(const matrix& a, const matrix& b) {
+  expects(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  matrix out(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+std::vector<double> column_means(const matrix& a) {
+  std::vector<double> means(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) means[c] += a(r, c);
+  }
+  for (double& m : means) m /= static_cast<double>(a.rows());
+  return means;
+}
+
+void center_columns(matrix& a, std::span<const double> means) {
+  expects(means.size() == a.cols(), "means size mismatch");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) a(r, c) -= means[c];
+  }
+}
+
+matrix covariance(const matrix& a) {
+  expects(a.rows() >= 2, "covariance needs at least two rows");
+  matrix centered = a;
+  center_columns(centered, column_means(a));
+  matrix cov(a.cols(), a.cols(), 0.0);
+  for (std::size_t i = 0; i < centered.rows(); ++i) {
+    const auto row = centered.row(i);
+    for (std::size_t p = 0; p < a.cols(); ++p) {
+      const double v = row[p];
+      if (v == 0.0) continue;
+      for (std::size_t q = p; q < a.cols(); ++q) cov(p, q) += v * row[q];
+    }
+  }
+  const double denom = static_cast<double>(a.rows() - 1);
+  for (std::size_t p = 0; p < a.cols(); ++p) {
+    for (std::size_t q = p; q < a.cols(); ++q) {
+      cov(p, q) /= denom;
+      cov(q, p) = cov(p, q);
+    }
+  }
+  return cov;
+}
+
+double frobenius_norm_squared(const matrix& a) {
+  double acc = 0.0;
+  for (const double v : a.data()) acc += v * v;
+  return acc;
+}
+
+}  // namespace urmem

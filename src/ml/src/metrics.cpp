@@ -1,0 +1,54 @@
+#include "urmem/ml/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "urmem/common/contracts.hpp"
+#include "urmem/common/stats.hpp"
+
+namespace urmem {
+
+double r2_score(std::span<const double> truth, std::span<const double> prediction) {
+  expects(truth.size() == prediction.size() && !truth.empty(),
+          "r2_score requires matching nonempty inputs");
+  const double mu = mean(truth);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - prediction[i]) * (truth[i] - prediction[i]);
+    ss_tot += (truth[i] - mu) * (truth[i] - mu);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mean_squared_error(std::span<const double> truth,
+                          std::span<const double> prediction) {
+  expects(truth.size() == prediction.size() && !truth.empty(),
+          "mean_squared_error requires matching nonempty inputs");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += (truth[i] - prediction[i]) * (truth[i] - prediction[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double psnr_db(std::span<const double> reference, std::span<const double> degraded,
+               double peak) {
+  expects(peak > 0.0, "psnr peak must be positive");
+  const double mse = mean_squared_error(reference, degraded);
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+double accuracy_score(std::span<const int> truth, std::span<const int> prediction) {
+  expects(truth.size() == prediction.size() && !truth.empty(),
+          "accuracy_score requires matching nonempty inputs");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == prediction[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace urmem

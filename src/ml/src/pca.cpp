@@ -1,0 +1,147 @@
+#include "urmem/ml/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+eigen_decomposition jacobi_eigen(const matrix& a, double tol, std::size_t max_sweeps) {
+  expects(a.rows() == a.cols() && a.rows() >= 1, "jacobi needs a square matrix");
+  const std::size_t p = a.rows();
+  matrix m = a;
+  matrix v(p, p, 0.0);
+  for (std::size_t i = 0; i < p; ++i) v(i, i) = 1.0;
+
+  const double total_scale = std::max(frobenius_norm_squared(a), 1e-300);
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = i + 1; j < p; ++j) off += 2.0 * m(i, j) * m(i, j);
+    }
+    if (off / total_scale < tol) break;
+
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = i + 1; j < p; ++j) {
+        const double apq = m(i, j);
+        if (apq == 0.0) continue;
+        const double app = m(i, i);
+        const double aqq = m(j, j);
+        // Classic Jacobi rotation choosing the smaller-angle root.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < p; ++k) {
+          const double mki = m(k, i);
+          const double mkj = m(k, j);
+          m(k, i) = c * mki - s * mkj;
+          m(k, j) = s * mki + c * mkj;
+        }
+        for (std::size_t k = 0; k < p; ++k) {
+          const double mik = m(i, k);
+          const double mjk = m(j, k);
+          m(i, k) = c * mik - s * mjk;
+          m(j, k) = s * mik + c * mjk;
+        }
+        for (std::size_t k = 0; k < p; ++k) {
+          const double vki = v(k, i);
+          const double vkj = v(k, j);
+          v(k, i) = c * vki - s * vkj;
+          v(k, j) = s * vki + c * vkj;
+        }
+      }
+    }
+  }
+
+  eigen_decomposition result;
+  result.values.resize(p);
+  std::vector<std::size_t> order(p);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> diag(p);
+  for (std::size_t i = 0; i < p; ++i) diag[i] = m(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t l, std::size_t r) { return diag[l] > diag[r]; });
+
+  result.vectors = matrix(p, p);
+  for (std::size_t rank = 0; rank < p; ++rank) {
+    result.values[rank] = diag[order[rank]];
+    for (std::size_t k = 0; k < p; ++k) {
+      result.vectors(k, rank) = v(k, order[rank]);
+    }
+  }
+  return result;
+}
+
+pca::pca(std::size_t n_components) : n_components_(n_components) {
+  expects(n_components >= 1, "need at least one component");
+}
+
+void pca::fit(const matrix& x) {
+  expects(x.rows() >= 2, "PCA needs at least two samples");
+  expects(n_components_ <= x.cols(), "more components than features");
+
+  mean_ = column_means(x);
+  const matrix cov = covariance(x);
+  const eigen_decomposition eig = jacobi_eigen(cov);
+
+  components_ = matrix(x.cols(), n_components_);
+  for (std::size_t c = 0; c < n_components_; ++c) {
+    for (std::size_t r = 0; r < x.cols(); ++r) {
+      components_(r, c) = eig.vectors(r, c);
+    }
+  }
+
+  double total = 0.0;
+  for (const double lambda : eig.values) total += std::max(lambda, 0.0);
+  explained_ratio_.assign(n_components_, 0.0);
+  if (total > 0.0) {
+    for (std::size_t c = 0; c < n_components_; ++c) {
+      explained_ratio_[c] = std::max(eig.values[c], 0.0) / total;
+    }
+  }
+}
+
+matrix pca::transform(const matrix& x) const {
+  expects(!mean_.empty(), "fit must be called before transform");
+  expects(x.cols() == mean_.size(), "feature count mismatch");
+  matrix centered = x;
+  center_columns(centered, mean_);
+  return matmul(centered, components_);
+}
+
+matrix pca::inverse_transform(const matrix& projected) const {
+  expects(!mean_.empty(), "fit must be called before inverse_transform");
+  matrix restored = matmul(projected, transpose(components_));
+  for (std::size_t r = 0; r < restored.rows(); ++r) {
+    for (std::size_t c = 0; c < restored.cols(); ++c) restored(r, c) += mean_[c];
+  }
+  return restored;
+}
+
+double pca::score(const matrix& x) const {
+  expects(!mean_.empty(), "fit must be called before score");
+  // Center by the holdout's own mean: a corrupted training mean must
+  // not inflate the total variance the basis is scored against.
+  matrix centered = x;
+  center_columns(centered, column_means(x));
+  const double total = frobenius_norm_squared(centered);
+  if (total == 0.0) return 1.0;
+  const matrix projected = matmul(centered, components_);
+  const matrix reconstructed = matmul(projected, transpose(components_));
+  double residual = 0.0;
+  for (std::size_t r = 0; r < centered.rows(); ++r) {
+    for (std::size_t c = 0; c < centered.cols(); ++c) {
+      const double d = centered(r, c) - reconstructed(r, c);
+      residual += d * d;
+    }
+  }
+  return 1.0 - residual / total;
+}
+
+}  // namespace urmem

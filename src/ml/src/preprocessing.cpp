@@ -1,0 +1,71 @@
+#include "urmem/ml/preprocessing.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+void standard_scaler::fit(const matrix& x) {
+  expects(x.rows() >= 2, "scaler needs at least two rows");
+  means_ = column_means(x);
+  scales_.assign(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double d = x(r, c) - means_[c];
+      scales_[c] += d * d;
+    }
+  }
+  for (double& s : scales_) {
+    s = std::sqrt(s / static_cast<double>(x.rows()));
+    if (s < 1e-12) s = 1.0;  // constant column: leave it centered only
+  }
+}
+
+matrix standard_scaler::transform(const matrix& x) const {
+  expects(!means_.empty(), "scaler must be fitted before transform");
+  expects(x.cols() == means_.size(), "column count mismatch");
+  matrix out = x;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - means_[c]) / scales_[c];
+    }
+  }
+  return out;
+}
+
+matrix standard_scaler::fit_transform(const matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+split_indices train_test_split(std::size_t n_rows, double test_fraction, rng& gen) {
+  expects(n_rows >= 2, "need at least two rows to split");
+  expects(test_fraction > 0.0 && test_fraction < 1.0, "test fraction in (0,1)");
+  std::vector<std::size_t> order(n_rows);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Fisher-Yates with the library rng (std::shuffle is implementation-defined).
+  for (std::size_t i = n_rows - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(gen.uniform_below(i + 1));
+    std::swap(order[i], order[j]);
+  }
+  const auto n_test = static_cast<std::size_t>(
+      std::llround(test_fraction * static_cast<double>(n_rows)));
+  split_indices split;
+  split.test.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n_test));
+  split.train.assign(order.begin() + static_cast<std::ptrdiff_t>(n_test), order.end());
+  return split;
+}
+
+matrix take_rows(const matrix& x, const std::vector<std::size_t>& rows) {
+  expects(!rows.empty(), "take_rows needs at least one row");
+  matrix out(rows.size(), x.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    expects(rows[i] < x.rows(), "row index out of range");
+    for (std::size_t c = 0; c < x.cols(); ++c) out(i, c) = x(rows[i], c);
+  }
+  return out;
+}
+
+}  // namespace urmem

@@ -1,0 +1,48 @@
+// A faulty SRAM array wrapped by a protection scheme — the functional
+// memory model the application experiments (paper Sec. 5.2) read and
+// write through.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "urmem/memory/sram_array.hpp"
+#include "urmem/scheme/protection_scheme.hpp"
+
+namespace urmem {
+
+/// Scheme-protected unreliable memory of `rows` words.
+class protected_memory {
+ public:
+  /// Fault-free memory; inject faults later with set_fault_map().
+  protected_memory(std::uint32_t rows, std::unique_ptr<protection_scheme> scheme);
+
+  [[nodiscard]] std::uint32_t rows() const { return array_.rows(); }
+  [[nodiscard]] const protection_scheme& scheme() const { return *scheme_; }
+  [[nodiscard]] const sram_array& array() const { return array_; }
+
+  /// Storage geometry (rows x storage_bits) the fault maps must use.
+  [[nodiscard]] array_geometry storage_geometry() const {
+    return array_.geometry();
+  }
+
+  /// Installs a fault map (geometry = storage_geometry()) and lets the
+  /// scheme reconfigure itself from it, the way a BIST pass would.
+  void set_fault_map(fault_map faults);
+
+  /// Encodes and stores a data word.
+  void write(std::uint32_t row, word_t data);
+
+  /// Reads and decodes a data word through the faulty array.
+  [[nodiscard]] read_result read(std::uint32_t row) const;
+
+  /// Analytic MSE of the current fault map under this scheme — Eq. (6)
+  /// evaluated over all rows: (1/R) * sum_i (2^{b_i})^2.
+  [[nodiscard]] double analytic_mse() const;
+
+ private:
+  std::unique_ptr<protection_scheme> scheme_;
+  sram_array array_;
+};
+
+}  // namespace urmem

@@ -1,0 +1,158 @@
+// Uniform interface over the fault-handling techniques the paper
+// compares (Sec. 5): no protection, H(39,32) SECDED ECC, H(22,16)
+// priority-ECC, and the proposed bit-shuffling scheme.
+//
+// A protection scheme maps a W-bit data word to a stored row of
+// storage_bits() columns and back. Schemes that rely on BIST-discovered
+// fault locations (bit-shuffling) are (re)configured through
+// configure(); ECC-based schemes ignore it.
+//
+// Besides the functional encode/decode path, every scheme exposes
+// worst_case_row_cost(): the row's contribution to the analytic MSE
+// criterion of Eq. (6) given the row's physical faulty columns. The
+// yield machinery (Fig. 5) evaluates millions of fault maps through
+// this hook without touching stored data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "urmem/common/bitops.hpp"
+#include "urmem/ecc/hamming_secded.hpp"
+#include "urmem/ecc/priority_ecc.hpp"
+#include "urmem/memory/fault_map.hpp"
+#include "urmem/shuffle/shuffle_scheme.hpp"
+
+namespace urmem {
+
+/// Result of reading one word through a protection scheme.
+struct read_result {
+  word_t data = 0;
+  ecc_status status = ecc_status::clean;
+};
+
+/// Abstract fault-mitigation technique for a fixed-geometry memory.
+class protection_scheme {
+ public:
+  virtual ~protection_scheme() = default;
+
+  /// Human-readable name used in benchmark tables, e.g. "nFM=2".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Width of the logical data word W.
+  [[nodiscard]] virtual unsigned data_bits() const = 0;
+
+  /// Stored row width (data + parity columns); LUT columns of the
+  /// shuffling scheme are tracked separately (see lut_bits_per_row).
+  [[nodiscard]] virtual unsigned storage_bits() const = 0;
+
+  /// Extra side-table bits per row (nFM for bit-shuffling, 0 otherwise).
+  [[nodiscard]] virtual unsigned lut_bits_per_row() const { return 0; }
+
+  /// Re-programs the scheme from a BIST-discovered fault map. The map's
+  /// geometry must cover storage_bits() columns. Default: no-op.
+  virtual void configure(const fault_map& faults);
+
+  /// Encodes `data` for storage in `row`.
+  [[nodiscard]] virtual word_t encode(std::uint32_t row, word_t data) const = 0;
+
+  /// Decodes the stored row back to a data word.
+  [[nodiscard]] virtual read_result decode(std::uint32_t row, word_t stored) const = 0;
+
+  /// Worst-case squared error magnitude sum_i (2^{b_i})^2 contributed by
+  /// a row whose faulty *storage* columns are `fault_cols`, assuming
+  /// two's-complement integer data and BIST-optimal configuration
+  /// (Eq. 6; see each scheme for its fault-to-logical-bit mapping).
+  [[nodiscard]] virtual double worst_case_row_cost(
+      std::span<const std::uint32_t> fault_cols) const = 0;
+};
+
+/// Pass-through scheme: the unprotected memory of the paper's baselines.
+class none_scheme final : public protection_scheme {
+ public:
+  explicit none_scheme(unsigned width = 32);
+
+  [[nodiscard]] std::string name() const override { return "no-correction"; }
+  [[nodiscard]] unsigned data_bits() const override { return width_; }
+  [[nodiscard]] unsigned storage_bits() const override { return width_; }
+  [[nodiscard]] word_t encode(std::uint32_t row, word_t data) const override;
+  [[nodiscard]] read_result decode(std::uint32_t row, word_t stored) const override;
+  [[nodiscard]] double worst_case_row_cost(
+      std::span<const std::uint32_t> fault_cols) const override;
+
+ private:
+  unsigned width_;
+};
+
+/// Classical SECDED ECC on the whole word — H(39,32) for 32-bit data.
+class secded_scheme final : public protection_scheme {
+ public:
+  explicit secded_scheme(unsigned width = 32);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] unsigned data_bits() const override { return code_.data_bits(); }
+  [[nodiscard]] unsigned storage_bits() const override { return code_.codeword_bits(); }
+  [[nodiscard]] const hamming_secded& code() const { return code_; }
+  [[nodiscard]] word_t encode(std::uint32_t row, word_t data) const override;
+  [[nodiscard]] read_result decode(std::uint32_t row, word_t stored) const override;
+  [[nodiscard]] double worst_case_row_cost(
+      std::span<const std::uint32_t> fault_cols) const override;
+
+ private:
+  hamming_secded code_;
+};
+
+/// Priority-based ECC — H(22,16) over the 16 MSBs for 32-bit data.
+class pecc_scheme final : public protection_scheme {
+ public:
+  explicit pecc_scheme(unsigned width = 32, unsigned protected_bits = 16);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] unsigned data_bits() const override { return codec_.word_bits(); }
+  [[nodiscard]] unsigned storage_bits() const override { return codec_.storage_bits(); }
+  [[nodiscard]] const priority_ecc& codec() const { return codec_; }
+  [[nodiscard]] word_t encode(std::uint32_t row, word_t data) const override;
+  [[nodiscard]] read_result decode(std::uint32_t row, word_t stored) const override;
+  [[nodiscard]] double worst_case_row_cost(
+      std::span<const std::uint32_t> fault_cols) const override;
+
+ private:
+  priority_ecc codec_;
+};
+
+/// The proposed significance-driven bit-shuffling scheme.
+class shuffle_protection final : public protection_scheme {
+ public:
+  shuffle_protection(std::uint32_t rows, unsigned width, unsigned n_fm,
+                     shift_policy policy = shift_policy::min_mse);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] unsigned data_bits() const override { return impl_.shuffler().width(); }
+  [[nodiscard]] unsigned storage_bits() const override { return impl_.shuffler().width(); }
+  [[nodiscard]] unsigned lut_bits_per_row() const override { return impl_.shuffler().n_fm(); }
+  [[nodiscard]] const shuffle_scheme& impl() const { return impl_; }
+  [[nodiscard]] shuffle_scheme& impl() { return impl_; }
+  void configure(const fault_map& faults) override;
+  [[nodiscard]] word_t encode(std::uint32_t row, word_t data) const override;
+  [[nodiscard]] read_result decode(std::uint32_t row, word_t stored) const override;
+  [[nodiscard]] double worst_case_row_cost(
+      std::span<const std::uint32_t> fault_cols) const override;
+
+ private:
+  shuffle_scheme impl_;
+  shift_policy policy_;
+};
+
+/// Factory helpers covering the paper's comparison set for a 4096-row,
+/// 32-bit memory: no-correction, H(39,32), H(22,16) P-ECC, nFM=1..5.
+[[nodiscard]] std::unique_ptr<protection_scheme> make_scheme_none(unsigned width = 32);
+[[nodiscard]] std::unique_ptr<protection_scheme> make_scheme_secded(unsigned width = 32);
+[[nodiscard]] std::unique_ptr<protection_scheme> make_scheme_pecc(
+    unsigned width = 32, unsigned protected_bits = 16);
+[[nodiscard]] std::unique_ptr<protection_scheme> make_scheme_shuffle(
+    std::uint32_t rows, unsigned width, unsigned n_fm,
+    shift_policy policy = shift_policy::min_mse);
+
+}  // namespace urmem

@@ -1,0 +1,84 @@
+// Spare-row redundancy repair — the classical yield technique the paper
+// dismisses in Sec. 2: "as the number of failures increases, the number
+// of redundant rows/columns required to replace every faulty
+// row/column increases tremendously [15] … an unviable option when
+// considering worst-case process variations."
+//
+// This module makes that argument quantitative: a repair engine that
+// remaps faulty data rows onto fault-free spare rows (spares are
+// manufactured in the same process and fail at the same Pcell), plus
+// the repair-yield analysis the ablation bench sweeps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "urmem/common/rng.hpp"
+#include "urmem/memory/fault_map.hpp"
+
+namespace urmem {
+
+/// Outcome of a spare-row repair pass.
+struct repair_result {
+  /// Residual faults visible through the remapped address space
+  /// (geometry = data rows only). Empty map = fully repaired.
+  fault_map residual;
+  std::uint32_t faulty_data_rows = 0;
+  std::uint32_t usable_spares = 0;   ///< manufactured fault-free spares
+  std::uint32_t repaired_rows = 0;
+  /// (logical data row -> physical spare row) assignments, ascending.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> remaps;
+  /// True when every faulty data row found a fault-free spare.
+  [[nodiscard]] bool fully_repaired() const {
+    return residual.fault_count() == 0;
+  }
+};
+
+/// Laser-fuse style row remapping for an R-data-row, K-spare-row array.
+class row_redundancy_repair {
+ public:
+  /// `data_rows` primary rows, `spare_rows` spares, both `width` bits.
+  row_redundancy_repair(std::uint32_t data_rows, std::uint32_t spare_rows,
+                        std::uint32_t width);
+
+  [[nodiscard]] std::uint32_t data_rows() const { return data_rows_; }
+  [[nodiscard]] std::uint32_t spare_rows() const { return spare_rows_; }
+
+  /// Geometry of the full manufactured array (data + spares) that the
+  /// post-fabrication fault map must cover.
+  [[nodiscard]] array_geometry manufactured_geometry() const {
+    return {data_rows_ + spare_rows_, width_};
+  }
+
+  /// Runs the repair: faulty data rows are remapped (in ascending
+  /// order) onto fault-free spares until the spares run out.
+  [[nodiscard]] repair_result repair(const fault_map& manufactured) const;
+
+  /// Physical row serving logical row `row` after the given repair
+  /// (identity when the row was healthy or spares were exhausted).
+  [[nodiscard]] static std::optional<std::uint32_t> remap_of(
+      const repair_result& result, std::uint32_t row);
+
+ private:
+  std::uint32_t data_rows_;
+  std::uint32_t spare_rows_;
+  std::uint32_t width_;
+};
+
+/// Monte-Carlo estimate of the repair yield: the fraction of
+/// manufactured arrays (data + spares, cells failing i.i.d. at `pcell`)
+/// that end up with zero residual faults after repair.
+[[nodiscard]] double repair_yield(std::uint32_t data_rows, std::uint32_t spare_rows,
+                                  std::uint32_t width, double pcell,
+                                  std::uint32_t mc_runs, rng& gen);
+
+/// Smallest spare-row count reaching `yield_target`, searched
+/// incrementally with `mc_runs` Monte-Carlo arrays per candidate;
+/// returns nullopt if `max_spares` is not enough.
+[[nodiscard]] std::optional<std::uint32_t> spares_for_yield(
+    std::uint32_t data_rows, std::uint32_t width, double pcell,
+    double yield_target, std::uint32_t max_spares, std::uint32_t mc_runs,
+    rng& gen);
+
+}  // namespace urmem

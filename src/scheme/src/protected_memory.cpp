@@ -1,0 +1,41 @@
+#include "urmem/scheme/protected_memory.hpp"
+
+#include <vector>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+protected_memory::protected_memory(std::uint32_t rows,
+                                   std::unique_ptr<protection_scheme> scheme)
+    : scheme_(std::move(scheme)),
+      array_(array_geometry{rows, scheme_->storage_bits()}) {
+  expects(scheme_ != nullptr, "protected_memory requires a scheme");
+}
+
+void protected_memory::set_fault_map(fault_map faults) {
+  expects(faults.geometry() == storage_geometry(), "fault map geometry mismatch");
+  scheme_->configure(faults);
+  array_.set_faults(std::move(faults));
+}
+
+void protected_memory::write(std::uint32_t row, word_t data) {
+  array_.write(row, scheme_->encode(row, data));
+}
+
+read_result protected_memory::read(std::uint32_t row) const {
+  return scheme_->decode(row, array_.read(row));
+}
+
+double protected_memory::analytic_mse() const {
+  const fault_map& faults = array_.faults();
+  double total = 0.0;
+  for (const std::uint32_t row : faults.faulty_rows()) {
+    std::vector<std::uint32_t> cols;
+    for (const fault& f : faults.faults_in_row(row)) cols.push_back(f.col);
+    total += scheme_->worst_case_row_cost(cols);
+  }
+  return total / static_cast<double>(rows());
+}
+
+}  // namespace urmem

@@ -1,0 +1,163 @@
+#include "urmem/scheme/protection_scheme.hpp"
+
+#include <cmath>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+namespace {
+
+/// (2^bit)^2 — the squared error magnitude of a flipped two's-complement
+/// integer bit (Eq. 6 uses 2^b regardless of sign; the sign bit's
+/// magnitude is 2^(W-1) by the same convention).
+double squared_bit_error(unsigned bit) {
+  return std::ldexp(1.0, 2 * static_cast<int>(bit));
+}
+
+}  // namespace
+
+void protection_scheme::configure(const fault_map& /*faults*/) {}
+
+// ---------------------------------------------------------------- none
+
+none_scheme::none_scheme(unsigned width) : width_(width) {
+  expects(is_valid_width(width), "word width must be 1..64");
+}
+
+word_t none_scheme::encode(std::uint32_t /*row*/, word_t data) const {
+  return data & word_mask(width_);
+}
+
+read_result none_scheme::decode(std::uint32_t /*row*/, word_t stored) const {
+  return {stored & word_mask(width_), ecc_status::clean};
+}
+
+double none_scheme::worst_case_row_cost(
+    std::span<const std::uint32_t> fault_cols) const {
+  double cost = 0.0;
+  for (const std::uint32_t col : fault_cols) cost += squared_bit_error(col);
+  return cost;
+}
+
+// -------------------------------------------------------------- secded
+
+secded_scheme::secded_scheme(unsigned width) : code_(width) {}
+
+std::string secded_scheme::name() const {
+  return "H(" + std::to_string(code_.codeword_bits()) + "," +
+         std::to_string(code_.data_bits()) + ") ECC";
+}
+
+word_t secded_scheme::encode(std::uint32_t /*row*/, word_t data) const {
+  return code_.encode(data);
+}
+
+read_result secded_scheme::decode(std::uint32_t /*row*/, word_t stored) const {
+  const ecc_decode_result r = code_.decode(stored);
+  return {r.data, r.status};
+}
+
+double secded_scheme::worst_case_row_cost(
+    std::span<const std::uint32_t> fault_cols) const {
+  if (fault_cols.size() <= 1) return 0.0;  // single error always corrected
+  // Multiple faults: detected but uncorrectable — the decoder hands the
+  // raw data bits through, so every faulty *data* column corrupts its
+  // logical bit. Check-column faults do not touch data bits.
+  double cost = 0.0;
+  for (const std::uint32_t col : fault_cols) {
+    const int bit = code_.data_bit_at_column(col);
+    if (bit >= 0) cost += squared_bit_error(static_cast<unsigned>(bit));
+  }
+  return cost;
+}
+
+// ---------------------------------------------------------------- pecc
+
+pecc_scheme::pecc_scheme(unsigned width, unsigned protected_bits)
+    : codec_(width, protected_bits) {}
+
+std::string pecc_scheme::name() const {
+  const auto& inner = codec_.inner_code();
+  return "H(" + std::to_string(inner.codeword_bits()) + "," +
+         std::to_string(inner.data_bits()) + ") P-ECC";
+}
+
+word_t pecc_scheme::encode(std::uint32_t /*row*/, word_t data) const {
+  return codec_.encode(data);
+}
+
+read_result pecc_scheme::decode(std::uint32_t /*row*/, word_t stored) const {
+  const ecc_decode_result r = codec_.decode(stored);
+  return {r.data, r.status};
+}
+
+double pecc_scheme::worst_case_row_cost(
+    std::span<const std::uint32_t> fault_cols) const {
+  double cost = 0.0;
+  std::size_t protected_faults = 0;
+  for (const std::uint32_t col : fault_cols) {
+    if (codec_.is_protected_column(col)) ++protected_faults;
+  }
+  for (const std::uint32_t col : fault_cols) {
+    if (codec_.is_protected_column(col)) {
+      if (protected_faults <= 1) continue;  // corrected by the inner code
+      const int bit = codec_.data_bit_at_column(col);
+      if (bit >= 0) cost += squared_bit_error(static_cast<unsigned>(bit));
+    } else {
+      // Unprotected low-order bit: error magnitude 2^col, col < u.
+      cost += squared_bit_error(col);
+    }
+  }
+  return cost;
+}
+
+// ------------------------------------------------------------- shuffle
+
+shuffle_protection::shuffle_protection(std::uint32_t rows, unsigned width,
+                                       unsigned n_fm, shift_policy policy)
+    : impl_(rows, width, n_fm, policy), policy_(policy) {}
+
+std::string shuffle_protection::name() const {
+  return "nFM=" + std::to_string(impl_.shuffler().n_fm());
+}
+
+void shuffle_protection::configure(const fault_map& faults) { impl_.program(faults); }
+
+word_t shuffle_protection::encode(std::uint32_t row, word_t data) const {
+  return impl_.apply_write(row, data);
+}
+
+read_result shuffle_protection::decode(std::uint32_t row, word_t stored) const {
+  return {impl_.restore_read(row, stored), ecc_status::clean};
+}
+
+double shuffle_protection::worst_case_row_cost(
+    std::span<const std::uint32_t> fault_cols) const {
+  if (fault_cols.empty()) return 0.0;
+  const unsigned xfm = choose_xfm(impl_.shuffler(), fault_cols, policy_);
+  return shift_cost(impl_.shuffler(), fault_cols, xfm);
+}
+
+// ------------------------------------------------------------ factories
+
+std::unique_ptr<protection_scheme> make_scheme_none(unsigned width) {
+  return std::make_unique<none_scheme>(width);
+}
+
+std::unique_ptr<protection_scheme> make_scheme_secded(unsigned width) {
+  return std::make_unique<secded_scheme>(width);
+}
+
+std::unique_ptr<protection_scheme> make_scheme_pecc(unsigned width,
+                                                    unsigned protected_bits) {
+  return std::make_unique<pecc_scheme>(width, protected_bits);
+}
+
+std::unique_ptr<protection_scheme> make_scheme_shuffle(std::uint32_t rows,
+                                                       unsigned width, unsigned n_fm,
+                                                       shift_policy policy) {
+  return std::make_unique<shuffle_protection>(rows, width, n_fm, policy);
+}
+
+}  // namespace urmem

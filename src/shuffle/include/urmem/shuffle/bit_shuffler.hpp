@@ -1,0 +1,64 @@
+// Segment arithmetic of the bit-shuffling scheme (paper Sec. 3, Eqs. 1-2).
+//
+// For a W-bit word and an FM-LUT entry width of nFM bits:
+//
+//   segment size        S    = W / 2^nFM                          (Eq. 1)
+//   rotation amount     T(r) = S * (2^nFM - xFM(r))  (mod W)      (Eq. 2)
+//
+// where xFM(r) is the index of the segment containing the faulty cell of
+// row r. Writing rotates the data word *right* by T(r), which lands the
+// least-significant segment on the faulty column; reading rotates *left*
+// by T(r) to restore bit order. With a single fault per row the residual
+// error after restore is bounded by 2^(S-1) — the envelope plotted in
+// the paper's Fig. 4.
+#pragma once
+
+#include <cstdint>
+
+#include "urmem/common/bitops.hpp"
+
+namespace urmem {
+
+/// Stateless shuffle parameterization for one (W, nFM) design point.
+class bit_shuffler {
+ public:
+  /// `width` must be a power of two (8..64); `n_fm` in [1, log2(width)].
+  bit_shuffler(unsigned width, unsigned n_fm);
+
+  [[nodiscard]] unsigned width() const { return width_; }
+
+  /// FM-LUT entry width nFM in bits.
+  [[nodiscard]] unsigned n_fm() const { return n_fm_; }
+
+  /// Number of segments 2^nFM (= number of distinct shift values).
+  [[nodiscard]] unsigned segment_count() const { return 1u << n_fm_; }
+
+  /// Segment size S = W / 2^nFM (Eq. 1).
+  [[nodiscard]] unsigned segment_size() const { return width_ >> n_fm_; }
+
+  /// Rotation amount T = S * (2^nFM - xfm) mod W (Eq. 2).
+  [[nodiscard]] unsigned shift_amount(unsigned xfm) const;
+
+  /// Segment index containing bit column `col`.
+  [[nodiscard]] unsigned segment_of(unsigned col) const;
+
+  /// Stores: rotate the data word right by shift_amount(xfm).
+  [[nodiscard]] word_t apply(word_t data, unsigned xfm) const;
+
+  /// Restores: rotate the stored word left by shift_amount(xfm).
+  [[nodiscard]] word_t restore(word_t stored, unsigned xfm) const;
+
+  /// Logical data-bit position that a fault at physical column `col`
+  /// corrupts once the word is restored.
+  [[nodiscard]] unsigned logical_position(unsigned col, unsigned xfm) const;
+
+  /// Worst-case residual error magnitude 2^(S-1) under one fault per row
+  /// (two's-complement integer data) — the bound behind Fig. 4.
+  [[nodiscard]] double max_error_magnitude() const;
+
+ private:
+  unsigned width_;
+  unsigned n_fm_;
+};
+
+}  // namespace urmem

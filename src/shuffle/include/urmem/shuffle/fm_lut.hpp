@@ -1,0 +1,54 @@
+// Fault-map look-up table (FM-LUT, paper Sec. 3 / Fig. 3).
+//
+// One nFM-bit entry per memory row records the segment index xFM(r) of
+// the row's faulty cell; the entry drives the circular shift applied on
+// every write/read of that row. The paper realizes the LUT as nFM extra
+// bit columns in the array, written once after BIST. Entries here live
+// in ordinary storage assumed fault-free (they are programmed after
+// test); the faulty-LUT ablation bench corrupts entries explicitly to
+// quantify that assumption.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "urmem/common/bitops.hpp"
+
+namespace urmem {
+
+/// Per-row shift-index storage of the bit-shuffling scheme.
+class fm_lut {
+ public:
+  /// LUT for `rows` rows with `n_fm`-bit entries, initialized to zero
+  /// (no shift — the fault-free configuration).
+  fm_lut(std::uint32_t rows, unsigned n_fm);
+
+  [[nodiscard]] std::uint32_t rows() const { return static_cast<std::uint32_t>(entries_.size()); }
+
+  /// Entry width nFM in bits.
+  [[nodiscard]] unsigned n_fm() const { return n_fm_; }
+
+  /// xFM value of `row`.
+  [[nodiscard]] unsigned get(std::uint32_t row) const;
+
+  /// Sets the xFM value of `row`; must fit in n_fm bits.
+  void set(std::uint32_t row, unsigned xfm);
+
+  /// Resets every entry to zero.
+  void clear();
+
+  /// Number of rows with a nonzero entry (i.e. rows BIST found faulty).
+  [[nodiscard]] std::uint32_t nonzero_entries() const;
+
+  /// Total LUT capacity in bits (rows * nFM) — the storage the scheme
+  /// adds to the array.
+  [[nodiscard]] std::uint64_t storage_bits() const {
+    return static_cast<std::uint64_t>(rows()) * n_fm_;
+  }
+
+ private:
+  std::vector<std::uint8_t> entries_;
+  unsigned n_fm_;
+};
+
+}  // namespace urmem

@@ -1,0 +1,38 @@
+// Shift selection: which xFM value should the BIST program for a row?
+//
+// The paper assumes a single fault per word: the entry is simply the
+// segment index of the faulty cell. Rows with several faults are not
+// covered by the paper; we choose the entry minimizing the row's
+// contribution to the MSE criterion (Eq. 6), i.e. the sum of 4^b over the
+// post-restore logical fault positions b. A cheaper first-fault policy
+// (use the most significant fault only) is provided for the ablation
+// study.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "urmem/shuffle/bit_shuffler.hpp"
+
+namespace urmem {
+
+/// How multi-fault rows pick their LUT entry.
+enum class shift_policy : std::uint8_t {
+  min_mse,      ///< try all 2^nFM shifts, keep the Eq. 6-optimal one (default)
+  first_fault,  ///< align the LSB segment with the most significant fault
+};
+
+/// Squared-error cost (the row's Eq. 6 contribution) of programming
+/// `xfm` for a row whose faulty columns are `fault_cols`.
+[[nodiscard]] double shift_cost(const bit_shuffler& shuffler,
+                                std::span<const std::uint32_t> fault_cols,
+                                unsigned xfm);
+
+/// Optimal xFM for the row under the given policy. Fault-free rows get 0.
+/// Ties break toward the smaller xFM, so single-fault rows always match
+/// the paper's formula xFM = floor(col / S).
+[[nodiscard]] unsigned choose_xfm(const bit_shuffler& shuffler,
+                                  std::span<const std::uint32_t> fault_cols,
+                                  shift_policy policy = shift_policy::min_mse);
+
+}  // namespace urmem

@@ -1,0 +1,44 @@
+#include "urmem/shuffle/bit_shuffler.hpp"
+
+#include <cmath>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+bit_shuffler::bit_shuffler(unsigned width, unsigned n_fm)
+    : width_(width), n_fm_(n_fm) {
+  expects(is_power_of_two(width) && width >= 2 && width <= max_word_width,
+          "shuffle word width must be a power of two in [2, 64]");
+  expects(n_fm >= 1 && n_fm <= log2_exact(width),
+          "n_fm must be in [1, log2(width)]");
+}
+
+unsigned bit_shuffler::shift_amount(unsigned xfm) const {
+  expects(xfm < segment_count(), "xFM exceeds the LUT entry range");
+  return (segment_size() * (segment_count() - xfm)) % width_;
+}
+
+unsigned bit_shuffler::segment_of(unsigned col) const {
+  expects(col < width_, "column out of range");
+  return col / segment_size();
+}
+
+word_t bit_shuffler::apply(word_t data, unsigned xfm) const {
+  return rotate_right(data, shift_amount(xfm), width_);
+}
+
+word_t bit_shuffler::restore(word_t stored, unsigned xfm) const {
+  return rotate_left(stored, shift_amount(xfm), width_);
+}
+
+unsigned bit_shuffler::logical_position(unsigned col, unsigned xfm) const {
+  expects(col < width_, "column out of range");
+  return (col + shift_amount(xfm)) % width_;
+}
+
+double bit_shuffler::max_error_magnitude() const {
+  return std::ldexp(1.0, static_cast<int>(segment_size()) - 1);
+}
+
+}  // namespace urmem

@@ -1,0 +1,33 @@
+#include "urmem/shuffle/fm_lut.hpp"
+
+#include <algorithm>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+fm_lut::fm_lut(std::uint32_t rows, unsigned n_fm) : entries_(rows, 0), n_fm_(n_fm) {
+  expects(rows >= 1, "fm_lut requires at least one row");
+  expects(n_fm >= 1 && n_fm <= 6, "fm_lut entry width must be 1..6 bits");
+}
+
+unsigned fm_lut::get(std::uint32_t row) const {
+  expects(row < rows(), "row out of range");
+  return entries_[row];
+}
+
+void fm_lut::set(std::uint32_t row, unsigned xfm) {
+  expects(row < rows(), "row out of range");
+  expects(xfm < (1u << n_fm_), "xFM exceeds entry width");
+  entries_[row] = static_cast<std::uint8_t>(xfm);
+}
+
+void fm_lut::clear() { std::fill(entries_.begin(), entries_.end(), std::uint8_t{0}); }
+
+std::uint32_t fm_lut::nonzero_entries() const {
+  return static_cast<std::uint32_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](std::uint8_t e) { return e != 0; }));
+}
+
+}  // namespace urmem

@@ -1,0 +1,41 @@
+#include "urmem/shuffle/shift_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace urmem {
+
+double shift_cost(const bit_shuffler& shuffler,
+                  std::span<const std::uint32_t> fault_cols, unsigned xfm) {
+  double cost = 0.0;
+  for (const std::uint32_t col : fault_cols) {
+    const unsigned logical = shuffler.logical_position(col, xfm);
+    cost += std::ldexp(1.0, 2 * static_cast<int>(logical));  // (2^b)^2
+  }
+  return cost;
+}
+
+unsigned choose_xfm(const bit_shuffler& shuffler,
+                    std::span<const std::uint32_t> fault_cols,
+                    shift_policy policy) {
+  if (fault_cols.empty()) return 0;
+
+  if (policy == shift_policy::first_fault) {
+    const std::uint32_t top =
+        *std::max_element(fault_cols.begin(), fault_cols.end());
+    return shuffler.segment_of(top);
+  }
+
+  unsigned best_xfm = 0;
+  double best_cost = shift_cost(shuffler, fault_cols, 0);
+  for (unsigned xfm = 1; xfm < shuffler.segment_count(); ++xfm) {
+    const double cost = shift_cost(shuffler, fault_cols, xfm);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_xfm = xfm;
+    }
+  }
+  return best_xfm;
+}
+
+}  // namespace urmem

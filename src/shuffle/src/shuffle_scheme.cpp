@@ -1,0 +1,29 @@
+#include "urmem/shuffle/shuffle_scheme.hpp"
+
+#include <vector>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+shuffle_scheme::shuffle_scheme(std::uint32_t rows, unsigned width, unsigned n_fm,
+                               shift_policy policy)
+    : shuffler_(width, n_fm), lut_(rows, n_fm), policy_(policy) {}
+
+void shuffle_scheme::program(const fault_map& faults) {
+  expects(faults.geometry().rows == lut_.rows(),
+          "fault map row count must match the LUT");
+  expects(faults.geometry().width >= shuffler_.width(),
+          "fault map must cover the data columns");
+  lut_.clear();
+  for (const std::uint32_t row : faults.faulty_rows()) {
+    std::vector<std::uint32_t> cols;
+    for (const fault& f : faults.faults_in_row(row)) {
+      if (f.col < shuffler_.width()) cols.push_back(f.col);  // data columns only
+    }
+    if (cols.empty()) continue;
+    lut_.set(row, choose_xfm(shuffler_, cols, policy_));
+  }
+}
+
+}  // namespace urmem

@@ -1,0 +1,65 @@
+// Tiled faulty-memory storage pipeline.
+//
+// The paper's harness stores each benchmark's training features in "a
+// functional model of a 16 KB memory" and injects bit-flips per the
+// sampled fault maps. Training sets larger than one 16 KB array span
+// several tiles, each an independent protected_memory instance with its
+// own fault map (exactly N failures per tile in the stratified Fig. 7
+// sweep, or Binomial(M, Pcell) per tile otherwise).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "urmem/common/rng.hpp"
+#include "urmem/memory/fault_sampler.hpp"
+#include "urmem/ml/matrix.hpp"
+#include "urmem/scheme/protected_memory.hpp"
+#include "urmem/sim/quantizer.hpp"
+
+namespace urmem {
+
+/// Creates a fresh protection-scheme instance for a tile of `rows` rows.
+using scheme_factory = std::function<std::unique_ptr<protection_scheme>(std::uint32_t rows)>;
+
+/// Produces the fault map of one tile given its storage geometry.
+using fault_injector = std::function<fault_map(const array_geometry&, rng&)>;
+
+/// Geometry and Q-format of the tiled store.
+struct storage_config {
+  std::uint32_t rows_per_tile = 4096;  ///< 16 KB of 32-bit words
+  unsigned frac_bits = 16;             ///< Q15.16 two's-complement
+  unsigned word_bits = 32;
+};
+
+/// Statistics of one store/readback pass.
+struct pipeline_stats {
+  std::size_t tiles = 0;
+  std::uint64_t injected_faults = 0;
+  std::uint64_t uncorrectable_words = 0;  ///< decoder flagged detected_uncorrectable
+};
+
+/// Writes `input` through scheme-protected faulty tiles and reads it
+/// back. Each tile gets a fresh scheme from `factory` and a fault map
+/// from `inject`.
+[[nodiscard]] matrix store_and_readback(const matrix& input,
+                                        const storage_config& config,
+                                        const scheme_factory& factory,
+                                        const fault_injector& inject, rng& gen,
+                                        pipeline_stats* stats = nullptr);
+
+/// Fault injector placing exactly `n` faults in every tile.
+[[nodiscard]] fault_injector exact_fault_injector(std::uint64_t n,
+                                                  fault_polarity polarity =
+                                                      fault_polarity::flip);
+
+/// Fault injector drawing Binomial(cells, pcell) faults per tile.
+[[nodiscard]] fault_injector binomial_fault_injector(double pcell,
+                                                     fault_polarity polarity =
+                                                         fault_polarity::flip);
+
+/// Injector producing fault-free tiles (quantization-only baseline).
+[[nodiscard]] fault_injector no_fault_injector();
+
+}  // namespace urmem

@@ -1,0 +1,53 @@
+// The Fig. 7 experiment: CDF of application quality under memory
+// failures (paper Sec. 5.2).
+//
+// For each failure count N = 1..Nmax (Nmax chosen so 99 % of memories
+// have no more failures, per the paper), `samples_per_count` random
+// fault maps are injected into the tiled training-feature store, the
+// benchmark is retrained on the corrupted features, and the quality
+// metric — normalized to the fault-free (quantization-only) baseline —
+// is recorded. Strata are weighted by the binomial Pr(N = n), so the
+// resulting weighted CDF is the quality-yield curve of Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "urmem/common/stats.hpp"
+#include "urmem/memory/fault_sampler.hpp"
+#include "urmem/sim/applications.hpp"
+#include "urmem/sim/memory_pipeline.hpp"
+
+namespace urmem {
+
+/// Parameters of the Fig. 7 sweep.
+struct quality_experiment_config {
+  double pcell = 1e-3;                 ///< paper's Fig. 7 operating point
+  storage_config storage;              ///< 16 KB tiles of 32-bit words
+  std::uint32_t samples_per_count = 10;///< paper uses 500 (CLI-scalable)
+  double coverage = 0.99;              ///< quantile defining Nmax
+  fault_polarity polarity = fault_polarity::flip;  ///< paper injects bit-flips
+  std::uint64_t seed = 99;
+};
+
+/// One scheme's quality distribution.
+struct quality_result {
+  std::string scheme_name;
+  double clean_metric = 0.0;  ///< fault-free (quantized) metric value
+  empirical_cdf cdf;          ///< CDF of the normalized metric
+};
+
+/// Runs the stratified sweep of one application under one scheme.
+/// The normalized metric is evaluate(corrupted)/evaluate(clean),
+/// clamped to [0, 1].
+[[nodiscard]] quality_result run_quality_experiment(
+    const application& app, const scheme_factory& factory,
+    const std::string& scheme_name, const quality_experiment_config& config);
+
+/// Largest failure count Nmax such that `coverage` of the memories have
+/// at most Nmax failures (per 16 KB tile).
+[[nodiscard]] std::uint64_t failure_count_limit(
+    const quality_experiment_config& config);
+
+}  // namespace urmem

@@ -1,0 +1,40 @@
+// Matrix <-> memory-word conversion.
+//
+// The application study (paper Sec. 5.2) stores the training data of
+// each benchmark in the functional 16 KB memory model as 32-bit
+// two's-complement words. This quantizer flattens a feature matrix
+// row-major into fixed-point words and back; the Q-format default
+// (Q15.16) matches the 2^b error-magnitude convention of Eq. (6).
+#pragma once
+
+#include <vector>
+
+#include "urmem/common/fixed_point.hpp"
+#include "urmem/ml/matrix.hpp"
+
+namespace urmem {
+
+/// Fixed-point matrix codec.
+class matrix_quantizer {
+ public:
+  /// Default: 32-bit words with 16 fractional bits.
+  explicit matrix_quantizer(fixed_point_codec codec = fixed_point_codec(32, 16));
+
+  [[nodiscard]] const fixed_point_codec& codec() const { return codec_; }
+
+  /// Flattens `m` row-major into fixed-point words.
+  [[nodiscard]] std::vector<word_t> to_words(const matrix& m) const;
+
+  /// Rebuilds a `rows` x `cols` matrix from words.
+  [[nodiscard]] matrix from_words(const std::vector<word_t>& words,
+                                  std::size_t rows, std::size_t cols) const;
+
+  /// Quantize-dequantize round trip without any memory in between —
+  /// the fault-free baseline the normalized quality metrics divide by.
+  [[nodiscard]] matrix roundtrip(const matrix& m) const;
+
+ private:
+  fixed_point_codec codec_;
+};
+
+}  // namespace urmem

@@ -1,0 +1,170 @@
+#include "urmem/sim/applications.hpp"
+
+#include <utility>
+
+#include "urmem/common/contracts.hpp"
+#include "urmem/datasets/generators.hpp"
+#include "urmem/ml/elasticnet.hpp"
+#include "urmem/ml/knn.hpp"
+#include "urmem/ml/metrics.hpp"
+#include "urmem/ml/pca.hpp"
+#include "urmem/ml/preprocessing.hpp"
+
+namespace urmem {
+
+namespace {
+
+/// Shared split/standardize plumbing: the scaler is fitted on the clean
+/// training features and reused for the test set, so every protection
+/// scheme sees the identical partition and preprocessing.
+struct prepared_data {
+  matrix train_x;  // standardized
+  matrix test_x;   // standardized with the train scaler
+  std::vector<double> train_y;
+  std::vector<double> test_y;
+  std::vector<int> train_labels;
+  std::vector<int> test_labels;
+};
+
+prepared_data prepare(const dataset& data, std::uint64_t seed) {
+  rng gen(splitmix64(seed ^ 0x73706c6974ULL));  // "split"
+  const split_indices split = train_test_split(data.size(), 0.2, gen);
+
+  prepared_data out;
+  const matrix train_raw = take_rows(data.features, split.train);
+  const matrix test_raw = take_rows(data.features, split.test);
+  standard_scaler scaler;
+  out.train_x = scaler.fit_transform(train_raw);
+  out.test_x = scaler.transform(test_raw);
+  if (!data.targets.empty()) {
+    out.train_y = take(data.targets, split.train);
+    out.test_y = take(data.targets, split.test);
+  }
+  if (!data.labels.empty()) {
+    out.train_labels = take(data.labels, split.train);
+    out.test_labels = take(data.labels, split.test);
+  }
+  return out;
+}
+
+class elasticnet_app final : public application {
+ public:
+  explicit elasticnet_app(std::uint64_t seed)
+      : data_(prepare(make_wine_like({.seed = seed ^ 0x77696e65ULL}), seed)) {}
+
+  [[nodiscard]] std::string name() const override { return "Elasticnet"; }
+  [[nodiscard]] std::string dataset_name() const override { return "wine-like"; }
+  [[nodiscard]] std::string metric_name() const override { return "R^2"; }
+  [[nodiscard]] const matrix& train_features() const override { return data_.train_x; }
+
+  [[nodiscard]] double evaluate(const matrix& stored) const override {
+    expects(stored.rows() == data_.train_x.rows() &&
+                stored.cols() == data_.train_x.cols(),
+            "stored training features have the wrong shape");
+    elasticnet model({.alpha = 0.01, .l1_ratio = 0.5});
+    model.fit(stored, data_.train_y);
+    const std::vector<double> predicted = model.predict(data_.test_x);
+    return r2_score(data_.test_y, predicted);
+  }
+
+ private:
+  prepared_data data_;
+};
+
+class pca_app final : public application {
+ public:
+  explicit pca_app(std::uint64_t seed)
+      : data_(prepare(make_madelon_like({.seed = seed ^ 0x6d61646cULL}), seed)) {}
+
+  [[nodiscard]] std::string name() const override { return "PCA"; }
+  [[nodiscard]] std::string dataset_name() const override { return "madelon-like"; }
+  [[nodiscard]] std::string metric_name() const override {
+    return "Explained Variance";
+  }
+  [[nodiscard]] const matrix& train_features() const override { return data_.train_x; }
+
+  [[nodiscard]] double evaluate(const matrix& stored) const override {
+    expects(stored.rows() == data_.train_x.rows() &&
+                stored.cols() == data_.train_x.cols(),
+            "stored training features have the wrong shape");
+    pca model(5);
+    model.fit(stored);
+    return model.score(data_.test_x);
+  }
+
+ private:
+  prepared_data data_;
+};
+
+class knn_app final : public application {
+ public:
+  explicit knn_app(std::uint64_t seed)
+      : data_(prepare(make_har_like({.seed = seed ^ 0x686172ULL}), seed)) {}
+
+  [[nodiscard]] std::string name() const override { return "KNN"; }
+  [[nodiscard]] std::string dataset_name() const override { return "har-like"; }
+  [[nodiscard]] std::string metric_name() const override { return "Score"; }
+  [[nodiscard]] const matrix& train_features() const override { return data_.train_x; }
+
+  [[nodiscard]] double evaluate(const matrix& stored) const override {
+    expects(stored.rows() == data_.train_x.rows() &&
+                stored.cols() == data_.train_x.cols(),
+            "stored training features have the wrong shape");
+    knn_classifier model(5);
+    model.fit(stored, data_.train_labels);
+    return model.score(data_.test_x, data_.test_labels);
+  }
+
+ private:
+  prepared_data data_;
+};
+
+class image_app final : public application {
+ public:
+  explicit image_app(std::uint64_t seed)
+      : image_(make_image_like({.seed = seed ^ 0x696d67ULL}).features) {}
+
+  [[nodiscard]] std::string name() const override { return "FrameBuffer"; }
+  [[nodiscard]] std::string dataset_name() const override { return "image-like"; }
+  [[nodiscard]] std::string metric_name() const override { return "PSNR [dB]"; }
+  [[nodiscard]] const matrix& train_features() const override { return image_; }
+
+  [[nodiscard]] double evaluate(const matrix& stored) const override {
+    expects(stored.rows() == image_.rows() && stored.cols() == image_.cols(),
+            "stored frame has the wrong shape");
+    // PSNR against the original frame; the fault-free baseline is the
+    // (finite) quantization-only PSNR.
+    return psnr_db(image_.data(), stored.data());
+  }
+
+ private:
+  matrix image_;
+};
+
+}  // namespace
+
+std::unique_ptr<application> make_image_app(std::uint64_t seed) {
+  return std::make_unique<image_app>(seed);
+}
+
+std::unique_ptr<application> make_elasticnet_app(std::uint64_t seed) {
+  return std::make_unique<elasticnet_app>(seed);
+}
+
+std::unique_ptr<application> make_pca_app(std::uint64_t seed) {
+  return std::make_unique<pca_app>(seed);
+}
+
+std::unique_ptr<application> make_knn_app(std::uint64_t seed) {
+  return std::make_unique<knn_app>(seed);
+}
+
+std::vector<std::unique_ptr<application>> make_all_applications(std::uint64_t seed) {
+  std::vector<std::unique_ptr<application>> apps;
+  apps.push_back(make_elasticnet_app(seed));
+  apps.push_back(make_pca_app(seed));
+  apps.push_back(make_knn_app(seed));
+  return apps;
+}
+
+}  // namespace urmem

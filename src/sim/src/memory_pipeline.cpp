@@ -1,0 +1,69 @@
+#include "urmem/sim/memory_pipeline.hpp"
+
+#include <algorithm>
+
+#include "urmem/common/binomial.hpp"
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+matrix store_and_readback(const matrix& input, const storage_config& config,
+                          const scheme_factory& factory, const fault_injector& inject,
+                          rng& gen, pipeline_stats* stats) {
+  expects(config.rows_per_tile >= 1, "tiles need at least one row");
+  const matrix_quantizer quantizer(
+      fixed_point_codec(config.word_bits, config.frac_bits));
+  const std::vector<word_t> words = quantizer.to_words(input);
+
+  std::vector<word_t> restored(words.size());
+  pipeline_stats local;
+  std::size_t cursor = 0;
+  while (cursor < words.size()) {
+    const auto tile_words = std::min<std::size_t>(config.rows_per_tile,
+                                                  words.size() - cursor);
+    std::unique_ptr<protection_scheme> scheme = factory(config.rows_per_tile);
+    expects(scheme != nullptr, "scheme factory returned null");
+    expects(scheme->data_bits() == config.word_bits,
+            "scheme word width must match the storage config");
+    protected_memory memory(config.rows_per_tile, std::move(scheme));
+
+    fault_map faults = inject(memory.storage_geometry(), gen);
+    local.injected_faults += faults.fault_count();
+    memory.set_fault_map(std::move(faults));
+
+    for (std::size_t i = 0; i < tile_words; ++i) {
+      memory.write(static_cast<std::uint32_t>(i), words[cursor + i]);
+    }
+    for (std::size_t i = 0; i < tile_words; ++i) {
+      const read_result r = memory.read(static_cast<std::uint32_t>(i));
+      restored[cursor + i] = r.data;
+      if (r.status == ecc_status::detected_uncorrectable) {
+        ++local.uncorrectable_words;
+      }
+    }
+    ++local.tiles;
+    cursor += tile_words;
+  }
+  if (stats != nullptr) *stats = local;
+  return quantizer.from_words(restored, input.rows(), input.cols());
+}
+
+fault_injector exact_fault_injector(std::uint64_t n, fault_polarity polarity) {
+  return [n, polarity](const array_geometry& geometry, rng& gen) {
+    return sample_fault_map_exact(geometry, std::min(n, geometry.cells()), gen,
+                                  polarity);
+  };
+}
+
+fault_injector binomial_fault_injector(double pcell, fault_polarity polarity) {
+  return [pcell, polarity](const array_geometry& geometry, rng& gen) {
+    const binomial_distribution dist(geometry.cells(), pcell);
+    return sample_fault_map_binomial(geometry, dist, gen, polarity);
+  };
+}
+
+fault_injector no_fault_injector() {
+  return [](const array_geometry& geometry, rng&) { return fault_map(geometry); };
+}
+
+}  // namespace urmem

@@ -1,0 +1,71 @@
+#include "urmem/sim/quality_experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "urmem/common/binomial.hpp"
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+std::uint64_t failure_count_limit(const quality_experiment_config& config) {
+  // Nmax is defined over the data-array cell count of one tile (the
+  // scheme-specific parity columns only shift it marginally).
+  const array_geometry geometry{config.storage.rows_per_tile,
+                                config.storage.word_bits};
+  const binomial_distribution dist(geometry.cells(), config.pcell);
+  return std::max<std::uint64_t>(1, dist.quantile(config.coverage));
+}
+
+quality_result run_quality_experiment(const application& app,
+                                      const scheme_factory& factory,
+                                      const std::string& scheme_name,
+                                      const quality_experiment_config& config) {
+  expects(config.samples_per_count >= 1, "need at least one sample per count");
+  expects(config.pcell > 0.0 && config.pcell < 1.0, "pcell must be in (0,1)");
+
+  rng gen(config.seed);
+
+  // Fault-free baseline: quantization round trip only.
+  const matrix clean_stored =
+      store_and_readback(app.train_features(), config.storage, factory,
+                         no_fault_injector(), gen);
+  const double clean_metric = app.evaluate(clean_stored);
+  ensures(std::isfinite(clean_metric) && clean_metric != 0.0,
+          "clean baseline metric must be finite and nonzero");
+
+  const std::uint64_t n_max = failure_count_limit(config);
+  const array_geometry geometry{config.storage.rows_per_tile,
+                                config.storage.word_bits};
+  const binomial_distribution dist(geometry.cells(), config.pcell);
+
+  std::vector<double> values;
+  std::vector<double> weights;
+  values.reserve(n_max * config.samples_per_count);
+  weights.reserve(n_max * config.samples_per_count);
+
+  for (std::uint64_t n = 1; n <= n_max; ++n) {
+    const double pn = dist.pmf(n);
+    if (pn <= 0.0) continue;
+    const double weight_each = pn / config.samples_per_count;
+    const fault_injector inject = exact_fault_injector(n, config.polarity);
+    for (std::uint32_t s = 0; s < config.samples_per_count; ++s) {
+      const matrix stored = store_and_readback(app.train_features(),
+                                               config.storage, factory, inject, gen);
+      const double metric = app.evaluate(stored);
+      const double normalized =
+          std::clamp(std::isfinite(metric) ? metric / clean_metric : 0.0, 0.0, 1.0);
+      values.push_back(normalized);
+      weights.push_back(weight_each);
+    }
+  }
+  ensures(!values.empty(), "no quality samples were produced");
+
+  quality_result result;
+  result.scheme_name = scheme_name;
+  result.clean_metric = clean_metric;
+  result.cdf = empirical_cdf(std::move(values), std::move(weights));
+  return result;
+}
+
+}  // namespace urmem

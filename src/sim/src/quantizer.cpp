@@ -1,0 +1,29 @@
+#include "urmem/sim/quantizer.hpp"
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+matrix_quantizer::matrix_quantizer(fixed_point_codec codec) : codec_(codec) {}
+
+std::vector<word_t> matrix_quantizer::to_words(const matrix& m) const {
+  std::vector<word_t> words;
+  words.reserve(m.rows() * m.cols());
+  for (const double v : m.data()) words.push_back(codec_.encode(v));
+  return words;
+}
+
+matrix matrix_quantizer::from_words(const std::vector<word_t>& words,
+                                    std::size_t rows, std::size_t cols) const {
+  expects(words.size() == rows * cols, "word count does not match matrix shape");
+  matrix out(rows, cols);
+  auto data = out.data();
+  for (std::size_t i = 0; i < words.size(); ++i) data[i] = codec_.decode(words[i]);
+  return out;
+}
+
+matrix matrix_quantizer::roundtrip(const matrix& m) const {
+  return from_words(to_words(m), m.rows(), m.cols());
+}
+
+}  // namespace urmem

@@ -1,0 +1,61 @@
+// Quality-aware yield criterion (paper Sec. 4, Fig. 5).
+//
+// The paper replaces the traditional zero-failure yield by a cost
+// function over the application-level error magnitude:
+//
+//   Pr(N = n, Q = q) = Pr(Q = q | N = n) * Pr(N = n)          (Eq. 3)
+//   Pr(N = n)        = C(M, n) Pcell^n (1 - Pcell)^(M-n)      (Eq. 4)
+//   Pr(Q = q)        = sum_{i=1..n} Pr(N = i, Q = q)          (Eq. 5)
+//
+// with the local quality metric
+//
+//   MSE = (1/R) * sum_i (2^{b_i})^2,  0 <= b_i < W            (Eq. 6)
+//
+// where b_i is the logical significance of the i-th failure after the
+// protection scheme has done its work.
+//
+// compute_mse_cdf realizes Eq. (5) as a stratified Monte-Carlo sweep:
+// for every failure count n it draws Pr(N = n) * total_runs random fault
+// maps (the paper's Fig. 5 uses total_runs = 1e7 and n = 1..150),
+// evaluates Eq. (6) through the scheme's worst_case_row_cost, and
+// weights each stratum by its binomial probability. The resulting
+// weighted CDF *is* the yield as a function of the tolerated MSE.
+#pragma once
+
+#include <cstdint>
+
+#include "urmem/common/rng.hpp"
+#include "urmem/common/stats.hpp"
+#include "urmem/scheme/protection_scheme.hpp"
+
+namespace urmem {
+
+/// Parameters of the Fig. 5 experiment.
+struct mse_cdf_config {
+  std::uint64_t total_runs = 10'000'000;  ///< Trun of the paper
+  std::uint64_t n_min = 1;                ///< smallest failure count stratum
+  std::uint64_t n_max = 150;              ///< largest failure count stratum
+  bool include_fault_free = false;        ///< add the Pr(N=0) mass at MSE 0
+                                          ///< (Eq. 5 sums from i = 1)
+  std::uint64_t seed = 42;
+};
+
+/// Stratified Monte-Carlo CDF of the analytic MSE of `scheme` on a
+/// memory with `rows` words and cell failure probability `pcell`.
+/// Fault positions are uniform over the scheme's storage columns.
+[[nodiscard]] empirical_cdf compute_mse_cdf(const protection_scheme& scheme,
+                                            std::uint32_t rows, double pcell,
+                                            const mse_cdf_config& config);
+
+/// Yield achieved when memories with MSE <= `mse_target` qualify —
+/// the redefined test criterion of Sec. 4.
+[[nodiscard]] double yield_at_mse(const empirical_cdf& cdf, double mse_target);
+
+/// Smallest MSE budget that must be tolerated to reach `yield_target`.
+[[nodiscard]] double mse_for_yield(const empirical_cdf& cdf, double yield_target);
+
+/// Analytic MSE (Eq. 6) of one concrete fault map under `scheme`.
+[[nodiscard]] double analytic_mse(const protection_scheme& scheme,
+                                  const fault_map& faults);
+
+}  // namespace urmem

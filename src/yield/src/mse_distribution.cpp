@@ -1,0 +1,112 @@
+#include "urmem/yield/mse_distribution.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "urmem/common/binomial.hpp"
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+namespace {
+
+/// Draws `n` distinct cells of `geometry` and evaluates Eq. (6) through
+/// the scheme, reusing scratch buffers across calls.
+class mse_sampler {
+ public:
+  mse_sampler(const protection_scheme& scheme, array_geometry geometry)
+      : scheme_(scheme), geometry_(geometry) {}
+
+  double operator()(std::uint64_t n, rng& gen) {
+    cells_.clear();
+    chosen_.clear();
+    const std::uint64_t total = geometry_.cells();
+    // Robert Floyd's distinct sampling.
+    for (std::uint64_t j = total - n; j < total; ++j) {
+      const std::uint64_t t = gen.uniform_below(j + 1);
+      const std::uint64_t pick = chosen_.contains(t) ? j : t;
+      chosen_.insert(pick);
+      cells_.push_back(pick);
+    }
+    std::sort(cells_.begin(), cells_.end());
+
+    double total_cost = 0.0;
+    std::size_t i = 0;
+    while (i < cells_.size()) {
+      const std::uint64_t row = cells_[i] / geometry_.width;
+      cols_.clear();
+      while (i < cells_.size() && cells_[i] / geometry_.width == row) {
+        cols_.push_back(static_cast<std::uint32_t>(cells_[i] % geometry_.width));
+        ++i;
+      }
+      total_cost += scheme_.worst_case_row_cost(cols_);
+    }
+    return total_cost / static_cast<double>(geometry_.rows);
+  }
+
+ private:
+  const protection_scheme& scheme_;
+  array_geometry geometry_;
+  std::vector<std::uint64_t> cells_;
+  std::vector<std::uint32_t> cols_;
+  std::unordered_set<std::uint64_t> chosen_;
+};
+
+}  // namespace
+
+empirical_cdf compute_mse_cdf(const protection_scheme& scheme, std::uint32_t rows,
+                              double pcell, const mse_cdf_config& config) {
+  expects(rows >= 1, "memory needs at least one row");
+  expects(pcell > 0.0 && pcell < 1.0, "pcell must be in (0,1)");
+  expects(config.n_min >= 1 && config.n_min <= config.n_max, "bad stratum range");
+  expects(config.total_runs >= 1, "total_runs must be positive");
+
+  const array_geometry geometry{rows, scheme.storage_bits()};
+  const binomial_distribution dist(geometry.cells(), pcell);
+  mse_sampler sampler(scheme, geometry);
+  rng gen(config.seed);
+
+  std::vector<double> values;
+  std::vector<double> weights;
+  if (config.include_fault_free) {
+    values.push_back(0.0);
+    weights.push_back(dist.pmf(0));
+  }
+  for (std::uint64_t n = config.n_min; n <= config.n_max; ++n) {
+    const double pn = dist.pmf(n);
+    const auto count = static_cast<std::uint64_t>(
+        std::llround(pn * static_cast<double>(config.total_runs)));
+    if (count == 0) continue;  // paper: samples per count = Pr(N=n) * Trun
+    const double weight_each = pn / static_cast<double>(count);
+    for (std::uint64_t s = 0; s < count; ++s) {
+      values.push_back(sampler(n, gen));
+      weights.push_back(weight_each);
+    }
+  }
+  ensures(!values.empty(),
+          "no stratum received samples; increase total_runs or the n range");
+  return empirical_cdf(std::move(values), std::move(weights));
+}
+
+double yield_at_mse(const empirical_cdf& cdf, double mse_target) {
+  return cdf.at(mse_target);
+}
+
+double mse_for_yield(const empirical_cdf& cdf, double yield_target) {
+  return cdf.quantile(yield_target);
+}
+
+double analytic_mse(const protection_scheme& scheme, const fault_map& faults) {
+  double total = 0.0;
+  std::vector<std::uint32_t> cols;
+  for (const std::uint32_t row : faults.faulty_rows()) {
+    cols.clear();
+    for (const fault& f : faults.faults_in_row(row)) cols.push_back(f.col);
+    total += scheme.worst_case_row_cost(cols);
+  }
+  return total / static_cast<double>(faults.geometry().rows);
+}
+
+}  // namespace urmem

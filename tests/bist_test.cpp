@@ -1,0 +1,176 @@
+// Tests for the BIST substrate: march algorithm structure, full
+// stuck-at/flip coverage, fault-kind diagnosis, and the
+// BIST -> FM-LUT programming flow of the paper's Sec. 3.
+#include <gtest/gtest.h>
+
+#include "urmem/bist/bist_engine.hpp"
+#include "urmem/bist/march_test.hpp"
+#include "urmem/memory/fault_sampler.hpp"
+#include "urmem/shuffle/shuffle_scheme.hpp"
+
+namespace urmem {
+namespace {
+
+TEST(MarchTest, AlgorithmComplexities) {
+  EXPECT_EQ(mats_plus().complexity(), 5u);      // 5N
+  EXPECT_EQ(march_c_minus().complexity(), 10u); // 10N
+  EXPECT_EQ(march_a().complexity(), 15u);       // 15N
+  EXPECT_EQ(march_b().complexity(), 17u);       // 17N
+  EXPECT_EQ(march_ss().complexity(), 22u);      // 22N
+}
+
+TEST(MarchTest, MarchAAndBDetectAllStuckAts) {
+  for (const march_algorithm& algorithm : {march_a(), march_b()}) {
+    fault_map injected({32, 16});
+    injected.add({4, 3, fault_kind::stuck_at_zero});
+    injected.add({17, 11, fault_kind::stuck_at_one});
+    injected.add({30, 0, fault_kind::flip});
+    sram_array array(injected);
+    const bist_result result = bist_engine(algorithm).run(array);
+    EXPECT_EQ(result.faults.fault_count(), 3u) << algorithm.name;
+    EXPECT_TRUE(result.faults.row_has_faults(4)) << algorithm.name;
+    EXPECT_TRUE(result.faults.row_has_faults(17)) << algorithm.name;
+    EXPECT_TRUE(result.faults.row_has_faults(30)) << algorithm.name;
+  }
+}
+
+TEST(MarchTest, MarchCMinusStructure) {
+  const march_algorithm alg = march_c_minus();
+  EXPECT_EQ(alg.name, "March C-");
+  ASSERT_EQ(alg.elements.size(), 6u);
+  // ⇑(r0,w1) as the second element.
+  EXPECT_EQ(alg.elements[1].order, address_order::ascending);
+  ASSERT_EQ(alg.elements[1].ops.size(), 2u);
+  EXPECT_TRUE(alg.elements[1].ops[0].is_read);
+  EXPECT_FALSE(alg.elements[1].ops[0].inverted);
+  EXPECT_FALSE(alg.elements[1].ops[1].is_read);
+  EXPECT_TRUE(alg.elements[1].ops[1].inverted);
+  // ⇓ phases follow.
+  EXPECT_EQ(alg.elements[3].order, address_order::descending);
+}
+
+TEST(BistEngineTest, CleanArrayPasses) {
+  sram_array array(array_geometry{64, 32});
+  const bist_result result = bist_engine().run(array);
+  EXPECT_TRUE(result.pass);
+  EXPECT_TRUE(result.traditional_accept());
+  EXPECT_EQ(result.faults.fault_count(), 0u);
+  EXPECT_GT(result.reads, 0u);
+  EXPECT_GT(result.writes, 0u);
+}
+
+/// Property: every injected fault is found at its exact location, for
+/// each march algorithm and each fault kind.
+class BistCoverage : public ::testing::TestWithParam<int> {
+ protected:
+  march_algorithm algorithm() const {
+    switch (GetParam()) {
+      case 0: return mats_plus();
+      case 1: return march_c_minus();
+      default: return march_ss();
+    }
+  }
+};
+
+TEST_P(BistCoverage, DetectsAllStuckAtAndFlipFaults) {
+  rng gen(GetParam() + 100);
+  const array_geometry geometry{128, 32};
+  fault_map injected(geometry);
+  injected.add({0, 0, fault_kind::stuck_at_zero});
+  injected.add({0, 31, fault_kind::stuck_at_one});
+  injected.add({64, 15, fault_kind::flip});
+  for (int i = 0; i < 30; ++i) {
+    const auto row = static_cast<std::uint32_t>(gen.uniform_below(128));
+    const auto col = static_cast<std::uint32_t>(gen.uniform_below(32));
+    const auto kind = static_cast<fault_kind>(gen.uniform_below(3));
+    injected.add({row, col, kind});
+  }
+
+  sram_array array(injected);
+  const bist_result result = bist_engine(algorithm()).run(array);
+  EXPECT_FALSE(result.pass);
+
+  // Every injected cell must be diagnosed (location-exact coverage).
+  for (const fault& f : injected.all_faults()) {
+    bool found = false;
+    for (const fault& d : result.faults.faults_in_row(f.row)) {
+      if (d.col == f.col) found = true;
+    }
+    EXPECT_TRUE(found) << "missed fault at (" << f.row << "," << f.col << ")";
+  }
+  // And nothing else (no false positives on a deterministic array).
+  EXPECT_EQ(result.faults.fault_count(), injected.fault_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, BistCoverage, ::testing::Values(0, 1, 2));
+
+TEST(BistEngineTest, DiagnosesFaultKinds) {
+  const array_geometry geometry{8, 16};
+  fault_map injected(geometry);
+  injected.add({1, 3, fault_kind::stuck_at_zero});
+  injected.add({2, 5, fault_kind::stuck_at_one});
+  injected.add({3, 7, fault_kind::flip});
+  sram_array array(injected);
+  const bist_result result = bist_engine().run(array);
+
+  ASSERT_EQ(result.faults.fault_count(), 3u);
+  EXPECT_EQ(result.faults.faults_in_row(1)[0].kind, fault_kind::stuck_at_zero);
+  EXPECT_EQ(result.faults.faults_in_row(2)[0].kind, fault_kind::stuck_at_one);
+  EXPECT_EQ(result.faults.faults_in_row(3)[0].kind, fault_kind::flip);
+}
+
+TEST(BistEngineTest, OperationCountMatchesComplexity) {
+  sram_array array(array_geometry{32, 8});
+  const bist_engine engine(march_c_minus(), {0x0ULL});
+  const bist_result result = engine.run(array);
+  // March C- is 10N: 5 writes and 5 reads per address per background.
+  EXPECT_EQ(result.writes, 32u * 5u);
+  EXPECT_EQ(result.reads, 32u * 5u);
+}
+
+TEST(BistEngineTest, RunAndProgramMatchesOracleProgramming) {
+  rng gen(321);
+  const array_geometry geometry{256, 32};
+  const fault_map injected = sample_fault_map_exact(geometry, 25, gen,
+                                                    fault_polarity::random_stuck);
+  sram_array array(injected);
+
+  shuffle_scheme from_bist(256, 32, 3);
+  bist_engine().run_and_program(array, from_bist);
+
+  shuffle_scheme oracle(256, 32, 3);
+  oracle.program(injected);
+
+  for (std::uint32_t r = 0; r < 256; ++r) {
+    EXPECT_EQ(from_bist.lut().get(r), oracle.lut().get(r)) << "row " << r;
+  }
+}
+
+TEST(BistEngineTest, PowerOnSelfTestTracksNewFaults) {
+  // Aging/voltage change scenario: re-running BIST after more cells
+  // fail reprograms the LUT (the POST advantage the paper mentions).
+  const array_geometry geometry{64, 32};
+  fault_map early(geometry);
+  early.add({5, 30, fault_kind::flip});
+  sram_array array(early);
+
+  shuffle_scheme scheme(64, 32, 5);
+  bist_engine().run_and_program(array, scheme);
+  EXPECT_EQ(scheme.lut().get(5), 30u);
+
+  fault_map aged(geometry);
+  aged.add({5, 30, fault_kind::flip});
+  aged.add({9, 12, fault_kind::stuck_at_zero});
+  array.set_faults(aged);
+  bist_engine().run_and_program(array, scheme);
+  EXPECT_EQ(scheme.lut().get(5), 30u);
+  EXPECT_EQ(scheme.lut().get(9), 12u);
+}
+
+TEST(BistEngineTest, RejectsEmptyConfiguration) {
+  EXPECT_THROW(bist_engine(march_algorithm{"empty", {}}), std::invalid_argument);
+  EXPECT_THROW(bist_engine(march_c_minus(), {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace urmem

@@ -1,0 +1,108 @@
+// Tests for the binomial fault-count machinery (paper Eq. 4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "urmem/common/binomial.hpp"
+
+namespace urmem {
+namespace {
+
+TEST(BinomialTest, PmfMatchesSmallClosedForm) {
+  const binomial_distribution d(4, 0.5);
+  EXPECT_NEAR(d.pmf(0), 1.0 / 16.0, 1e-12);
+  EXPECT_NEAR(d.pmf(1), 4.0 / 16.0, 1e-12);
+  EXPECT_NEAR(d.pmf(2), 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(d.pmf(4), 1.0 / 16.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d.pmf(5), 0.0);
+}
+
+TEST(BinomialTest, PmfSumsToOneAtPaperScale) {
+  // The Fig. 5 configuration: M = 131072 cells, Pcell = 5e-6.
+  const binomial_distribution d(131072, 5e-6);
+  double total = 0.0;
+  for (std::uint64_t n = 0; n <= 60; ++n) total += d.pmf(n);
+  EXPECT_NEAR(total, 1.0, 1e-9);  // lgamma limits absolute precision
+  EXPECT_NEAR(d.mean(), 0.65536, 1e-9);
+}
+
+TEST(BinomialTest, ExtremeProbabilitiesDoNotUnderflow) {
+  const binomial_distribution d(131072, 1e-9);
+  EXPECT_GT(d.pmf(0), 0.99);
+  EXPECT_GT(d.pmf(1), 0.0);
+  EXPECT_TRUE(std::isfinite(d.log_pmf(10)));
+}
+
+TEST(BinomialTest, DegenerateEdges) {
+  const binomial_distribution zero(10, 0.0);
+  EXPECT_DOUBLE_EQ(zero.pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(zero.pmf(1), 0.0);
+  const binomial_distribution one(10, 1.0);
+  EXPECT_DOUBLE_EQ(one.pmf(10), 1.0);
+  EXPECT_DOUBLE_EQ(one.pmf(9), 0.0);
+}
+
+TEST(BinomialTest, CdfMonotoneReachesOne) {
+  const binomial_distribution d(131072, 1e-3);
+  double prev = 0.0;
+  for (std::uint64_t n = 50; n <= 250; n += 10) {
+    const double c = d.cdf(n);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(d.cdf(250), 1.0, 1e-9);
+}
+
+TEST(BinomialTest, QuantileBracketsTheMass) {
+  const binomial_distribution d(131072, 1e-3);  // mean ~131
+  const std::uint64_t q99 = d.quantile(0.99);
+  EXPECT_GT(q99, 131u);
+  EXPECT_LT(q99, 200u);
+  EXPECT_GE(d.cdf(q99), 0.99);
+  EXPECT_LT(d.cdf(q99 - 1), 0.99);
+}
+
+TEST(BinomialTest, SamplerMatchesMoments) {
+  const binomial_distribution d(131072, 1e-3);
+  rng gen(31);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int runs = 20000;
+  for (int i = 0; i < runs; ++i) {
+    const auto n = static_cast<double>(d.sample(gen));
+    sum += n;
+    sum_sq += n * n;
+  }
+  const double m = sum / runs;
+  const double var = sum_sq / runs - m * m;
+  EXPECT_NEAR(m, d.mean(), 0.5);
+  EXPECT_NEAR(var, d.variance(), d.variance() * 0.1);
+}
+
+TEST(BinomialTest, StratifiedCountsFollowPmf) {
+  const binomial_distribution d(131072, 5e-6);
+  const auto counts = stratified_sample_counts(d, 150, 10'000'000);
+  ASSERT_EQ(counts.size(), 150u);
+  // Paper: samples per count = Pr(N=n) * Trun.
+  EXPECT_EQ(counts[0], static_cast<std::uint64_t>(std::llround(d.pmf(1) * 1e7)));
+  EXPECT_EQ(counts[1], static_cast<std::uint64_t>(std::llround(d.pmf(2) * 1e7)));
+  // Counts must decay to zero in the far tail.
+  EXPECT_EQ(counts[149], 0u);
+  // The bulk allocation is a a large fraction of Trun (N>=1 strata).
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_GT(total, 4'000'000u);
+  EXPECT_LT(total, 5'500'000u);
+}
+
+TEST(BinomialTest, RejectsInvalidParameters) {
+  EXPECT_THROW(binomial_distribution(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(binomial_distribution(10, -0.1), std::invalid_argument);
+  EXPECT_THROW(binomial_distribution(10, 1.1), std::invalid_argument);
+  const binomial_distribution d(10, 0.5);
+  EXPECT_THROW((void)d.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)d.quantile(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace urmem

@@ -1,0 +1,111 @@
+// Unit and property tests for the width-parameterized bit utilities.
+#include <gtest/gtest.h>
+
+#include "urmem/common/bitops.hpp"
+
+namespace urmem {
+namespace {
+
+TEST(BitopsTest, WordMaskCoversRequestedWidth) {
+  EXPECT_EQ(word_mask(1), 0x1ULL);
+  EXPECT_EQ(word_mask(8), 0xFFULL);
+  EXPECT_EQ(word_mask(32), 0xFFFFFFFFULL);
+  EXPECT_EQ(word_mask(64), ~word_t{0});
+}
+
+TEST(BitopsTest, GetSetFlipBit) {
+  word_t w = 0;
+  w = set_bit(w, 5, true);
+  EXPECT_TRUE(get_bit(w, 5));
+  EXPECT_FALSE(get_bit(w, 4));
+  w = flip_bit(w, 5);
+  EXPECT_FALSE(get_bit(w, 5));
+  w = set_bit(w, 63, true);
+  EXPECT_TRUE(get_bit(w, 63));
+  w = set_bit(w, 63, false);
+  EXPECT_EQ(w, 0ULL);
+}
+
+TEST(BitopsTest, ParityCountsOnesModTwo) {
+  EXPECT_FALSE(parity(0x0ULL));
+  EXPECT_TRUE(parity(0x1ULL));
+  EXPECT_FALSE(parity(0x3ULL));
+  EXPECT_TRUE(parity(0x7ULL));
+  // Bits above the width are ignored.
+  EXPECT_FALSE(parity(0xF0ULL, 4));
+  EXPECT_TRUE(parity(0x10ULL, 5));
+}
+
+TEST(BitopsTest, RotateRightMatchesManualExample) {
+  // 8-bit rotate of 0b0000'0011 right by 1 -> 0b1000'0001.
+  EXPECT_EQ(rotate_right(0x03, 1, 8), 0x81ULL);
+  EXPECT_EQ(rotate_right(0x81, 1, 8), 0xC0ULL);
+  EXPECT_EQ(rotate_left(0x81, 1, 8), 0x03ULL);
+}
+
+TEST(BitopsTest, RotateByZeroAndWidthAreIdentity) {
+  const word_t value = 0xDEADBEEFULL;
+  EXPECT_EQ(rotate_right(value, 0, 32), value);
+  EXPECT_EQ(rotate_right(value, 32, 32), value);
+  EXPECT_EQ(rotate_left(value, 0, 32), value);
+  EXPECT_EQ(rotate_left(value, 64, 32), value);
+}
+
+TEST(BitopsTest, SignedConversionRoundTrips) {
+  EXPECT_EQ(to_signed(from_signed(-1, 32), 32), -1);
+  EXPECT_EQ(to_signed(from_signed(-12345, 16), 16), -12345);
+  EXPECT_EQ(to_signed(from_signed(12345, 16), 16), 12345);
+  EXPECT_EQ(to_signed(0x80000000ULL, 32), -2147483648LL);
+  EXPECT_EQ(to_signed(0x7FFFFFFFULL, 32), 2147483647LL);
+}
+
+TEST(BitopsTest, Log2Helpers) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(32), 5u);
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(33));
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(39), 6u);
+}
+
+/// Property: rotate_left undoes rotate_right for every width and shift.
+class RotateRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RotateRoundTrip, LeftUndoesRight) {
+  const unsigned width = GetParam();
+  const word_t value = 0x0123456789ABCDEFULL & word_mask(width);
+  for (unsigned shift = 0; shift <= 2 * width; ++shift) {
+    EXPECT_EQ(rotate_left(rotate_right(value, shift, width), shift, width), value)
+        << "width=" << width << " shift=" << shift;
+  }
+}
+
+TEST_P(RotateRoundTrip, RotationPreservesPopcount) {
+  const unsigned width = GetParam();
+  const word_t value = 0x9E3779B97F4A7C15ULL & word_mask(width);
+  for (unsigned shift = 0; shift < width; ++shift) {
+    EXPECT_EQ(std::popcount(rotate_right(value, shift, width)),
+              std::popcount(value));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RotateRoundTrip,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u, 48u, 64u));
+
+/// Property: rotating bit b right by s moves it to (b - s) mod width.
+TEST(BitopsTest, RotationMovesIndividualBits) {
+  const unsigned width = 32;
+  for (unsigned b = 0; b < width; ++b) {
+    for (unsigned s = 0; s < width; ++s) {
+      const word_t rotated = rotate_right(word_t{1} << b, s, width);
+      const unsigned expected = (b + width - s) % width;
+      EXPECT_EQ(rotated, word_t{1} << expected) << "b=" << b << " s=" << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace urmem

@@ -1,0 +1,87 @@
+// Tests for the fixed-point codec and the console table formatter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "urmem/common/fixed_point.hpp"
+#include "urmem/common/table.hpp"
+
+namespace urmem {
+namespace {
+
+TEST(FixedPointTest, Q16RoundTripWithinResolution) {
+  const fixed_point_codec codec(32, 16);
+  for (const double v : {0.0, 1.0, -1.0, 3.14159, -2.71828, 1000.5, -20000.25}) {
+    const double decoded = codec.decode(codec.encode(v));
+    EXPECT_NEAR(decoded, v, codec.resolution() / 2.0 + 1e-12) << "v=" << v;
+  }
+}
+
+TEST(FixedPointTest, ResolutionAndRange) {
+  const fixed_point_codec codec(32, 16);
+  EXPECT_DOUBLE_EQ(codec.resolution(), 1.0 / 65536.0);
+  EXPECT_NEAR(codec.max_value(), 32768.0, 1.0);
+  EXPECT_NEAR(codec.min_value(), -32768.0, 1.0);
+}
+
+TEST(FixedPointTest, SaturatesOutOfRange) {
+  const fixed_point_codec codec(32, 16);
+  EXPECT_DOUBLE_EQ(codec.decode(codec.encode(1e9)), codec.max_value());
+  EXPECT_DOUBLE_EQ(codec.decode(codec.encode(-1e9)), codec.min_value());
+}
+
+TEST(FixedPointTest, NegativeValuesUseTwosComplement) {
+  const fixed_point_codec codec(32, 16);
+  const word_t encoded = codec.encode(-1.0);
+  // -1.0 * 2^16 = -65536 -> 0xFFFF0000 in 32-bit two's complement.
+  EXPECT_EQ(encoded, 0xFFFF0000ULL);
+}
+
+TEST(FixedPointTest, IntegerOnlyFormat) {
+  const fixed_point_codec codec(16, 0);
+  EXPECT_EQ(codec.encode(42.4), from_signed(42, 16));
+  EXPECT_EQ(codec.encode(42.6), from_signed(43, 16));
+  EXPECT_DOUBLE_EQ(codec.decode(from_signed(-5, 16)), -5.0);
+}
+
+TEST(FixedPointTest, MsbFlipIsLargestError) {
+  // A fault in the sign bit of Q15.16 changes the value by 2^15 — the
+  // 2^b error-magnitude convention of Eq. (6).
+  const fixed_point_codec codec(32, 16);
+  const word_t clean = codec.encode(1.5);
+  const word_t corrupted = flip_bit(clean, 31);
+  EXPECT_NEAR(std::abs(codec.decode(corrupted) - 1.5), 32768.0, 1e-9);
+}
+
+TEST(FixedPointTest, RejectsBadConfiguration) {
+  EXPECT_THROW(fixed_point_codec(1, 0), std::invalid_argument);
+  EXPECT_THROW(fixed_point_codec(32, 32), std::invalid_argument);
+  EXPECT_THROW(fixed_point_codec(65, 4), std::invalid_argument);
+}
+
+TEST(TableTest, RendersAlignedMarkdown) {
+  console_table table({"scheme", "mse"});
+  table.add_row({"none", "1.5"});
+  table.add_row({"nFM=1", "0.001"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| scheme |"), std::string::npos);
+  EXPECT_NE(text.find("| nFM=1 "), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TableTest, RejectsRaggedRows) {
+  console_table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(FormatTest, Helpers) {
+  EXPECT_EQ(format_percent(0.314159, 1), "31.4%");
+  EXPECT_EQ(format_scientific(123456.0, 2), "1.23e+05");
+  EXPECT_EQ(format_double(2.5, 3), "2.5");
+}
+
+}  // namespace
+}  // namespace urmem

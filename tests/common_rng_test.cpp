@@ -1,0 +1,122 @@
+// Tests for the deterministic RNG infrastructure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "urmem/common/rng.hpp"
+#include "urmem/common/stats.hpp"
+
+namespace urmem {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  rng a(123);
+  rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  rng a(1);
+  rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  rng gen(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = gen.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformBelowRespectsBound) {
+  rng gen(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t v = gen.uniform_below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 5000, 350);  // ~5 sigma of the binomial spread
+  }
+}
+
+TEST(RngTest, UniformBelowOneIsAlwaysZero) {
+  rng gen(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(gen.uniform_below(1), 0u);
+}
+
+TEST(RngTest, NormalMomentsMatchStandardNormal) {
+  rng gen(5);
+  std::vector<double> samples(40000);
+  for (double& s : samples) s = gen.normal();
+  EXPECT_NEAR(mean(samples), 0.0, 0.02);
+  EXPECT_NEAR(stddev(samples), 1.0, 0.02);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentAndDeterministic) {
+  const rng base(99);
+  rng s1 = base.split(1);
+  rng s1_again = base.split(1);
+  rng s2 = base.split(2);
+  EXPECT_EQ(s1(), s1_again());
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s1() == s2()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(CellHashTest, DeterministicPerIndex) {
+  const cell_hash h(42);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(h.bits(i), h.bits(i));
+    EXPECT_EQ(h.uniform(i), h.uniform(i));
+  }
+}
+
+TEST(CellHashTest, UniformsAreInOpenUnitInterval) {
+  const cell_hash h(17);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const double u = h.uniform(i);
+    ASSERT_GT(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(CellHashTest, DifferentSeedsGiveDifferentFields) {
+  const cell_hash a(1);
+  const cell_hash b(2);
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (a.bits(i) == b.bits(i)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(CellHashTest, MeanOfUniformsIsHalf) {
+  const cell_hash h(1234);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += h.uniform(static_cast<std::uint64_t>(i));
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(SplitmixTest, KnownFixedPointFreeAndDeterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_NE(splitmix64(0), 0u);
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+}  // namespace
+}  // namespace urmem

@@ -1,0 +1,114 @@
+// Tests for the statistics primitives (normal CDF/quantile, ECDF).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "urmem/common/stats.hpp"
+
+namespace urmem {
+namespace {
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145707, 1e-10);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-10);
+  EXPECT_NEAR(normal_cdf(-6.0), 9.865876450377018e-10, 1e-16);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (const double p : {1e-9, 1e-6, 1e-4, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0 - 1e-6}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12 + p * 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(1e-4), -3.719016485455709, 1e-8);
+}
+
+TEST(NormalTest, QuantileRejectsOutOfDomain) {
+  EXPECT_THROW((void)normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile(-0.5), std::invalid_argument);
+}
+
+TEST(DescriptiveTest, MeanVarianceStddev) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(SpacingTest, LinspaceEndpointsAndStep) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(SpacingTest, LogspaceIsGeometric) {
+  const auto v = logspace(1.0, 1000.0, 4);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_NEAR(v[0], 1.0, 1e-9);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_NEAR(v[2], 100.0, 1e-9);
+  EXPECT_NEAR(v[3], 1000.0, 1e-9);
+}
+
+TEST(EcdfTest, UnweightedStepFunction) {
+  const empirical_cdf cdf(std::vector<double>{3.0, 1.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(1.9), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(99.0), 1.0);
+}
+
+TEST(EcdfTest, WeightedMassesNormalize) {
+  const empirical_cdf cdf({10.0, 20.0}, {3.0, 1.0});
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(20.0), 1.0);
+}
+
+TEST(EcdfTest, QuantileIsGeneralizedInverse) {
+  const empirical_cdf cdf(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.26), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+}
+
+TEST(EcdfTest, DuplicateSupportPointsAreMerged) {
+  const empirical_cdf cdf(std::vector<double>{5.0, 5.0, 5.0});
+  EXPECT_EQ(cdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf.at(5.0), 1.0);
+}
+
+TEST(EcdfTest, RejectsInvalidConstruction) {
+  EXPECT_THROW(empirical_cdf(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(empirical_cdf({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(empirical_cdf({1.0}, {-1.0}), std::invalid_argument);
+  EXPECT_THROW(empirical_cdf({1.0}, {0.0}), std::invalid_argument);
+}
+
+TEST(EcdfTest, CdfIsMonotoneOverSupport) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(std::sin(i) * 10.0);
+  const empirical_cdf cdf(values);
+  double prev = 0.0;
+  for (const double v : cdf.support()) {
+    const double cur = cdf.at(v);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+}  // namespace
+}  // namespace urmem

@@ -1,0 +1,138 @@
+// Tests for fault-map serialization (test-equipment export / POST
+// reload) and the system-level energy model.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "urmem/common/rng.hpp"
+#include "urmem/hwmodel/system_energy.hpp"
+#include "urmem/memory/fault_map_io.hpp"
+#include "urmem/memory/fault_sampler.hpp"
+
+namespace urmem {
+namespace {
+
+TEST(FaultMapIoTest, RoundTripPreservesEverything) {
+  rng gen(1);
+  const fault_map original =
+      sample_fault_map_exact({512, 32}, 100, gen, fault_polarity::mixed);
+  std::stringstream buffer;
+  write_fault_map(buffer, original);
+  const fault_map parsed = read_fault_map(buffer);
+
+  EXPECT_EQ(parsed.geometry(), original.geometry());
+  EXPECT_EQ(parsed.fault_count(), original.fault_count());
+  const auto a = original.all_faults();
+  const auto b = parsed.all_faults();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "fault " << i;
+  }
+}
+
+TEST(FaultMapIoTest, EmptyMapRoundTrips) {
+  std::stringstream buffer;
+  write_fault_map(buffer, fault_map({8, 16}));
+  const fault_map parsed = read_fault_map(buffer);
+  EXPECT_EQ(parsed.fault_count(), 0u);
+  EXPECT_EQ(parsed.geometry(), (array_geometry{8, 16}));
+}
+
+TEST(FaultMapIoTest, FormatIsHumanReadable) {
+  fault_map map({4, 8});
+  map.add({2, 5, fault_kind::stuck_at_one});
+  std::stringstream buffer;
+  write_fault_map(buffer, map);
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("urmem-faultmap v1"), std::string::npos);
+  EXPECT_NE(text.find("geometry 4 8"), std::string::npos);
+  EXPECT_NE(text.find("fault 2 5 sa1"), std::string::npos);
+}
+
+TEST(FaultMapIoTest, CommentsAndBlankLinesIgnored) {
+  std::istringstream in(
+      "urmem-faultmap v1\n"
+      "geometry 4 8\n"
+      "# exported by tester 7\n"
+      "\n"
+      "fault 1 3 tfup\n");
+  const fault_map map = read_fault_map(in);
+  EXPECT_EQ(map.fault_count(), 1u);
+  EXPECT_EQ(map.faults_in_row(1)[0].kind, fault_kind::transition_up_fail);
+}
+
+TEST(FaultMapIoTest, RejectsMalformedInput) {
+  std::istringstream bad_header("not-a-faultmap\n");
+  EXPECT_THROW((void)read_fault_map(bad_header), std::invalid_argument);
+  std::istringstream bad_kind(
+      "urmem-faultmap v1\ngeometry 2 8\nfault 0 0 wiggly\n");
+  EXPECT_THROW((void)read_fault_map(bad_kind), std::invalid_argument);
+  std::istringstream out_of_range(
+      "urmem-faultmap v1\ngeometry 2 8\nfault 5 0 sa0\n");
+  EXPECT_THROW((void)read_fault_map(out_of_range), std::invalid_argument);
+  std::istringstream missing_geometry("urmem-faultmap v1\n");
+  EXPECT_THROW((void)read_fault_map(missing_geometry), std::invalid_argument);
+}
+
+TEST(FaultMapIoTest, KindNamesRoundTrip) {
+  for (const fault_kind kind :
+       {fault_kind::stuck_at_zero, fault_kind::stuck_at_one, fault_kind::flip,
+        fault_kind::transition_up_fail, fault_kind::transition_down_fail}) {
+    EXPECT_EQ(fault_kind_from_name(fault_kind_name(kind)), kind);
+  }
+  EXPECT_THROW((void)fault_kind_from_name("nope"), std::invalid_argument);
+}
+
+TEST(FaultMapIoTest, FileRoundTrip) {
+  rng gen(2);
+  const fault_map original = sample_fault_map_exact({64, 32}, 10, gen);
+  const std::string path = "/tmp/urmem_faultmap_test.txt";
+  save_fault_map(path, original);
+  const fault_map loaded = load_fault_map(path);
+  EXPECT_EQ(loaded.fault_count(), original.fault_count());
+  EXPECT_THROW((void)load_fault_map("/nonexistent/map.txt"),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- system energy
+
+TEST(SystemEnergyTest, QuadraticVoltageScaling) {
+  const system_energy_model model(1000.0, 1.0);
+  EXPECT_DOUBLE_EQ(model.array_read_energy_fj(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(model.array_read_energy_fj(0.5), 250.0);
+  EXPECT_NEAR(model.net_saving(0.7, 0.0), 1.0 - 0.49, 1e-12);
+}
+
+TEST(SystemEnergyTest, SchemeOverheadScalesToo) {
+  const system_energy_model model(1000.0, 1.0);
+  // 10% overhead at nominal stays 10% of the scaled array energy.
+  EXPECT_DOUBLE_EQ(model.protected_read_energy_fj(0.5, 100.0), 250.0 + 25.0);
+  EXPECT_NEAR(model.net_saving(0.5, 100.0), 1.0 - 0.275, 1e-12);
+}
+
+TEST(SystemEnergyTest, OverheadCanEraseTheGain) {
+  const system_energy_model model(100.0, 1.0);
+  // A scheme costing 30% of the array at a mild 0.95 V scaling: net
+  // saving goes negative territory is avoided but small.
+  EXPECT_LT(model.net_saving(0.98, 30.0), 0.0);
+  EXPECT_GT(model.net_saving(0.60, 30.0), 0.5);
+}
+
+TEST(SystemEnergyTest, FromMacroMatchesHandComputation) {
+  const sram_macro_model sram = sram_macro_model::fdsoi_28nm();
+  const auto model = system_energy_model::from_macro(sram, 32, 1.0, 1.35);
+  EXPECT_DOUBLE_EQ(model.array_read_energy_fj(1.0),
+                   32 * sram.col_read_energy_fj * 1.35);
+}
+
+TEST(SystemEnergyTest, RejectsBadParameters) {
+  EXPECT_THROW(system_energy_model(0.0), std::invalid_argument);
+  EXPECT_THROW(system_energy_model(10.0, 0.0), std::invalid_argument);
+  const system_energy_model model(10.0);
+  EXPECT_THROW((void)model.array_read_energy_fj(0.0), std::invalid_argument);
+  EXPECT_THROW((void)model.protected_read_energy_fj(1.0, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace urmem

@@ -1,0 +1,332 @@
+// Tests for the native ML library: matrix algebra, preprocessing,
+// metrics, and the three benchmark algorithms of Table 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "urmem/common/rng.hpp"
+#include "urmem/common/stats.hpp"
+#include "urmem/ml/elasticnet.hpp"
+#include "urmem/ml/knn.hpp"
+#include "urmem/ml/matrix.hpp"
+#include "urmem/ml/metrics.hpp"
+#include "urmem/ml/pca.hpp"
+#include "urmem/ml/preprocessing.hpp"
+
+namespace urmem {
+namespace {
+
+// ---------------------------------------------------------------- matrix
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 4.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.5);
+  EXPECT_EQ(m.row(1).size(), 3u);
+  EXPECT_DOUBLE_EQ(m.col(2)[1], 4.0);
+}
+
+TEST(MatrixTest, MatmulKnownProduct) {
+  matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  matrix b(2, 2);
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  matrix a(2, 3);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = static_cast<double>(r * 3 + c);
+  }
+  const matrix att = transpose(transpose(a));
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(att(r, c), a(r, c));
+  }
+}
+
+TEST(MatrixTest, CovarianceOfKnownData) {
+  // Two perfectly anticorrelated columns.
+  matrix x(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = -static_cast<double>(i);
+  }
+  const matrix cov = covariance(x);
+  EXPECT_NEAR(cov(0, 0), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), -5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 5.0 / 3.0, 1e-12);
+}
+
+TEST(MatrixTest, MatmulDimensionMismatchRejected) {
+  EXPECT_THROW(matmul(matrix(2, 3), matrix(2, 3)), std::invalid_argument);
+}
+
+// --------------------------------------------------------- preprocessing
+
+TEST(ScalerTest, StandardizesToZeroMeanUnitVariance) {
+  rng gen(1);
+  matrix x(200, 3);
+  for (std::size_t r = 0; r < 200; ++r) {
+    x(r, 0) = 5.0 + 2.0 * gen.normal();
+    x(r, 1) = -3.0 + 0.5 * gen.normal();
+    x(r, 2) = 100.0 + 10.0 * gen.normal();
+  }
+  standard_scaler scaler;
+  const matrix z = scaler.fit_transform(x);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto col = z.col(c);
+    EXPECT_NEAR(mean(col), 0.0, 1e-10);
+    EXPECT_NEAR(stddev(col), 1.0, 0.01);
+  }
+}
+
+TEST(ScalerTest, ConstantColumnHandled) {
+  matrix x(10, 1, 7.0);
+  standard_scaler scaler;
+  const matrix z = scaler.fit_transform(x);
+  for (std::size_t r = 0; r < 10; ++r) EXPECT_DOUBLE_EQ(z(r, 0), 0.0);
+}
+
+TEST(SplitTest, SizesAndDisjointness) {
+  rng gen(2);
+  const split_indices split = train_test_split(100, 0.2, gen);
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(split.train.size(), 80u);
+  std::vector<bool> seen(100, false);
+  for (const auto i : split.train) seen[i] = true;
+  for (const auto i : split.test) {
+    EXPECT_FALSE(seen[i]) << "index " << i << " in both partitions";
+    seen[i] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsTest, R2KnownValues) {
+  const std::vector<double> truth{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r2_score(truth, truth), 1.0);
+  const std::vector<double> mean_pred(4, 2.5);
+  EXPECT_DOUBLE_EQ(r2_score(truth, mean_pred), 0.0);
+}
+
+TEST(MetricsTest, MseAndAccuracy) {
+  EXPECT_DOUBLE_EQ(
+      mean_squared_error(std::vector<double>{1, 2}, std::vector<double>{2, 4}),
+      2.5);
+  EXPECT_DOUBLE_EQ(
+      accuracy_score(std::vector<int>{1, 2, 3, 4}, std::vector<int>{1, 2, 0, 4}),
+      0.75);
+}
+
+// ------------------------------------------------------------- elasticnet
+
+TEST(ElasticnetTest, RecoversLinearModelWithoutRegularization) {
+  rng gen(3);
+  matrix x(300, 3);
+  std::vector<double> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = gen.normal();
+    y[i] = 2.0 * x(i, 0) - 1.5 * x(i, 1) + 0.5 + 0.001 * gen.normal();
+  }
+  elasticnet model({.alpha = 0.0, .l1_ratio = 0.5, .max_iter = 2000, .tol = 1e-10});
+  model.fit(x, y);
+  EXPECT_NEAR(model.coefficients()[0], 2.0, 0.01);
+  EXPECT_NEAR(model.coefficients()[1], -1.5, 0.01);
+  EXPECT_NEAR(model.coefficients()[2], 0.0, 0.01);
+  EXPECT_NEAR(model.intercept(), 0.5, 0.01);
+}
+
+TEST(ElasticnetTest, StrongL1DrivesCoefficientsToZero) {
+  rng gen(4);
+  matrix x(100, 4);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) x(i, j) = gen.normal();
+    y[i] = 0.1 * x(i, 0) + gen.normal() * 0.1;
+  }
+  elasticnet model({.alpha = 10.0, .l1_ratio = 1.0});
+  model.fit(x, y);
+  for (const double w : model.coefficients()) EXPECT_DOUBLE_EQ(w, 0.0);
+  // Prediction falls back to the intercept = mean(y).
+  const auto pred = model.predict(x);
+  EXPECT_NEAR(pred[0], model.intercept(), 1e-12);
+}
+
+TEST(ElasticnetTest, RidgeLimitMatchesClosedFormSingleFeature) {
+  // For one centered feature: w = rho / (z + alpha) with l1_ratio = 0.
+  matrix x(4, 1);
+  x(0, 0) = -1.5; x(1, 0) = -0.5; x(2, 0) = 0.5; x(3, 0) = 1.5;
+  const std::vector<double> y{-3.0, -1.0, 1.0, 3.0};  // slope 2, centered
+  const double z = (2 * 1.5 * 1.5 + 2 * 0.5 * 0.5) / 4.0;  // 1.25
+  const double rho = z * 2.0;                               // cov with y
+  const double alpha = 0.5;
+  elasticnet model({.alpha = alpha, .l1_ratio = 0.0, .max_iter = 5000, .tol = 1e-12});
+  model.fit(x, y);
+  EXPECT_NEAR(model.coefficients()[0], rho / (z + alpha), 1e-9);
+}
+
+TEST(ElasticnetTest, PredictBeforeFitRejected) {
+  elasticnet model;
+  EXPECT_THROW(model.predict(matrix(2, 2)), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- pca
+
+TEST(JacobiTest, DiagonalizesKnownSymmetricMatrix) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+  const eigen_decomposition eig = jacobi_eigen(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  // Eigenvector of lambda=3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), std::sqrt(0.5), 1e-10);
+  EXPECT_NEAR(std::abs(eig.vectors(1, 0)), std::sqrt(0.5), 1e-10);
+}
+
+TEST(JacobiTest, ReconstructsTheInput) {
+  rng gen(5);
+  const std::size_t p = 8;
+  matrix a(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i; j < p; ++j) {
+      a(i, j) = gen.normal();
+      a(j, i) = a(i, j);
+    }
+  }
+  const eigen_decomposition eig = jacobi_eigen(a);
+  // A = V diag(lambda) V^T.
+  matrix lambda(p, p, 0.0);
+  for (std::size_t i = 0; i < p; ++i) lambda(i, i) = eig.values[i];
+  const matrix rebuilt =
+      matmul(matmul(eig.vectors, lambda), transpose(eig.vectors));
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      EXPECT_NEAR(rebuilt(i, j), a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  rng gen(6);
+  matrix x(300, 6);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const double t = gen.normal();
+    for (std::size_t j = 0; j < 6; ++j) {
+      x(i, j) = t * static_cast<double>(j + 1) + 0.1 * gen.normal();
+    }
+  }
+  pca model(3);
+  model.fit(x);
+  const matrix& v = model.components();
+  const matrix gram = matmul(transpose(v), v);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(gram(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(PcaTest, SingleStrongDirectionCapturesVariance) {
+  rng gen(7);
+  matrix x(500, 5);
+  for (std::size_t i = 0; i < 500; ++i) {
+    const double t = 3.0 * gen.normal();
+    for (std::size_t j = 0; j < 5; ++j) x(i, j) = t + 0.05 * gen.normal();
+  }
+  pca model(1);
+  model.fit(x);
+  EXPECT_GT(model.explained_variance_ratio()[0], 0.99);
+  EXPECT_GT(model.score(x), 0.99);
+}
+
+TEST(PcaTest, ScoreDropsOnUnrelatedData) {
+  rng gen(8);
+  matrix structured(300, 4);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const double t = gen.normal();
+    structured(i, 0) = t; structured(i, 1) = t;
+    structured(i, 2) = 0.01 * gen.normal(); structured(i, 3) = 0.01 * gen.normal();
+  }
+  pca model(1);
+  model.fit(structured);
+  matrix noise(300, 4);
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) noise(i, j) = gen.normal();
+  }
+  EXPECT_GT(model.score(structured), 0.95);
+  EXPECT_LT(model.score(noise), 0.7);
+}
+
+TEST(PcaTest, TransformInverseTransformRoundTrip) {
+  rng gen(9);
+  matrix x(50, 3);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double t = gen.normal();
+    x(i, 0) = t; x(i, 1) = 2 * t; x(i, 2) = -t;
+  }
+  pca model(1);  // the data is genuinely rank 1
+  model.fit(x);
+  const matrix rebuilt = model.inverse_transform(model.transform(x));
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(rebuilt(i, j), x(i, j), 1e-9);
+  }
+}
+
+// ------------------------------------------------------------------- knn
+
+TEST(KnnTest, PerfectOnSeparatedClusters) {
+  rng gen(10);
+  matrix x(90, 2);
+  std::vector<int> labels(90);
+  for (std::size_t i = 0; i < 90; ++i) {
+    const int cls = static_cast<int>(i % 3);
+    labels[i] = cls;
+    x(i, 0) = cls * 10.0 + 0.3 * gen.normal();
+    x(i, 1) = cls * -10.0 + 0.3 * gen.normal();
+  }
+  knn_classifier model(5);
+  model.fit(x, labels);
+  EXPECT_DOUBLE_EQ(model.score(x, labels), 1.0);
+}
+
+TEST(KnnTest, SingleNeighborMemorizes) {
+  matrix x(4, 1);
+  x(0, 0) = 0; x(1, 0) = 1; x(2, 0) = 10; x(3, 0) = 11;
+  knn_classifier model(1);
+  model.fit(x, {0, 0, 1, 1});
+  const std::vector<double> q1{0.4};
+  const std::vector<double> q2{10.6};
+  EXPECT_EQ(model.predict_one(q1), 0);
+  EXPECT_EQ(model.predict_one(q2), 1);
+}
+
+TEST(KnnTest, MajorityVoteBreaksTiesTowardSmallerLabel) {
+  matrix x(4, 1);
+  x(0, 0) = 0.0; x(1, 0) = 0.2; x(2, 0) = 1.0; x(3, 0) = 1.2;
+  knn_classifier model(4);  // all points vote: 2 vs 2 tie
+  model.fit(x, {0, 0, 1, 1});
+  const std::vector<double> q{0.6};
+  EXPECT_EQ(model.predict_one(q), 0);
+}
+
+TEST(KnnTest, RejectsMisuse) {
+  knn_classifier model(5);
+  EXPECT_THROW(model.fit(matrix(3, 2), {0, 1, 0}), std::invalid_argument);
+  matrix x(6, 2);
+  model.fit(x, {0, 1, 0, 1, 0, 1});
+  const std::vector<double> bad_dim{1.0};
+  EXPECT_THROW((void)model.predict_one(bad_dim), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace urmem

@@ -1,0 +1,92 @@
+// Tests for the spare-row redundancy repair baseline (paper Sec. 2).
+#include <gtest/gtest.h>
+
+#include "urmem/memory/fault_sampler.hpp"
+#include "urmem/scheme/row_redundancy.hpp"
+
+namespace urmem {
+namespace {
+
+TEST(RedundancyTest, CleanArrayNeedsNoRepair) {
+  const row_redundancy_repair engine(64, 4, 32);
+  const repair_result result = engine.repair(fault_map({68, 32}));
+  EXPECT_TRUE(result.fully_repaired());
+  EXPECT_EQ(result.faulty_data_rows, 0u);
+  EXPECT_EQ(result.usable_spares, 4u);
+  EXPECT_TRUE(result.remaps.empty());
+}
+
+TEST(RedundancyTest, FaultyRowsRemapToHealthySpares) {
+  const row_redundancy_repair engine(8, 2, 16);
+  fault_map manufactured({10, 16});
+  manufactured.add({3, 5, fault_kind::flip});
+  manufactured.add({6, 0, fault_kind::stuck_at_one});
+  const repair_result result = engine.repair(manufactured);
+  EXPECT_TRUE(result.fully_repaired());
+  EXPECT_EQ(result.repaired_rows, 2u);
+  EXPECT_EQ(row_redundancy_repair::remap_of(result, 3), 8u);
+  EXPECT_EQ(row_redundancy_repair::remap_of(result, 6), 9u);
+  EXPECT_EQ(row_redundancy_repair::remap_of(result, 0), std::nullopt);
+}
+
+TEST(RedundancyTest, FaultySparesAreSkipped) {
+  const row_redundancy_repair engine(8, 2, 16);
+  fault_map manufactured({10, 16});
+  manufactured.add({3, 5, fault_kind::flip});
+  manufactured.add({8, 1, fault_kind::flip});  // first spare is itself broken
+  const repair_result result = engine.repair(manufactured);
+  EXPECT_TRUE(result.fully_repaired());
+  EXPECT_EQ(result.usable_spares, 1u);
+  EXPECT_EQ(row_redundancy_repair::remap_of(result, 3), 9u);
+}
+
+TEST(RedundancyTest, ExhaustedSparesLeaveResidualFaults) {
+  const row_redundancy_repair engine(8, 1, 16);
+  fault_map manufactured({9, 16});
+  manufactured.add({2, 3, fault_kind::flip});
+  manufactured.add({5, 7, fault_kind::flip});
+  manufactured.add({5, 9, fault_kind::flip});
+  const repair_result result = engine.repair(manufactured);
+  EXPECT_FALSE(result.fully_repaired());
+  EXPECT_EQ(result.repaired_rows, 1u);
+  // Row 2 repaired first (ascending); row 5's two faults remain.
+  EXPECT_EQ(result.residual.fault_count(), 2u);
+  EXPECT_TRUE(result.residual.row_has_faults(5));
+  EXPECT_FALSE(result.residual.row_has_faults(2));
+}
+
+TEST(RedundancyTest, RepairYieldMonotoneInSpares) {
+  rng gen(9);
+  const double pcell = 2e-4;  // E[faulty rows] ~ 26 of 4096... use small array
+  const double y0 = repair_yield(512, 0, 32, pcell, 300, gen);
+  const double y4 = repair_yield(512, 4, 32, pcell, 300, gen);
+  const double y16 = repair_yield(512, 16, 32, pcell, 300, gen);
+  EXPECT_LE(y0, y4 + 0.05);
+  EXPECT_LE(y4, y16 + 0.05);
+  EXPECT_GT(y16, 0.95);  // E[faulty rows] ~ 3.3, 16 spares is plenty
+}
+
+TEST(RedundancyTest, SparesForYieldFindsMinimalCount) {
+  rng gen(11);
+  const auto spares = spares_for_yield(512, 32, 2e-4, 0.95, 256, 300, gen);
+  ASSERT_TRUE(spares.has_value());
+  // E[faulty rows] = 512 * (1 - (1-2e-4)^32) ~ 3.27; Poisson 95th pct ~ 6-7.
+  EXPECT_GE(*spares, 4u);
+  EXPECT_LE(*spares, 12u);
+}
+
+TEST(RedundancyTest, InfeasibleTargetReturnsNullopt) {
+  rng gen(13);
+  // Pcell so high that even max_spares = 8 healthy spares cannot exist.
+  const auto spares = spares_for_yield(256, 32, 0.05, 0.99, 8, 100, gen);
+  EXPECT_FALSE(spares.has_value());
+}
+
+TEST(RedundancyTest, GeometryValidation) {
+  const row_redundancy_repair engine(8, 2, 16);
+  EXPECT_THROW((void)engine.repair(fault_map({8, 16})), std::invalid_argument);
+  EXPECT_THROW(row_redundancy_repair(0, 2, 16), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace urmem

@@ -1,0 +1,127 @@
+// Tests for write-time transition faults: semantics, BIST detection,
+// and their interaction with the bit-shuffling scheme.
+#include <gtest/gtest.h>
+
+#include "urmem/bist/bist_engine.hpp"
+#include "urmem/common/rng.hpp"
+#include "urmem/memory/fault_sampler.hpp"
+#include "urmem/memory/sram_array.hpp"
+#include "urmem/shuffle/shuffle_scheme.hpp"
+
+namespace urmem {
+namespace {
+
+TEST(TransitionFaultTest, UpFailBlocksRisingTransitionOnly) {
+  fault_map map({2, 8});
+  map.add({0, 3, fault_kind::transition_up_fail});
+  sram_array array(map);
+
+  array.write(0, 0x08);  // 0 -> 1 on the faulty cell: blocked
+  EXPECT_EQ(array.read(0), 0x00ULL);
+
+  // Other columns are unaffected.
+  array.write(0, 0xF7);
+  EXPECT_EQ(array.read(0), 0xF7ULL);
+}
+
+TEST(TransitionFaultTest, DownFailKeepsTheOne) {
+  fault_map map({2, 8});
+  map.add({0, 0, fault_kind::transition_down_fail});
+  sram_array array(map);
+
+  array.write(0, 0x01);  // rising works
+  EXPECT_EQ(array.read(0), 0x01ULL);
+  array.write(0, 0x00);  // falling blocked
+  EXPECT_EQ(array.read(0), 0x01ULL);
+  array.write(0, 0x02);  // still stuck high, other bits written fine
+  EXPECT_EQ(array.read(0), 0x03ULL);
+}
+
+TEST(TransitionFaultTest, ApplyWriteIsPureFunctionOfOldAndNew) {
+  fault_map map({1, 8});
+  map.add({0, 1, fault_kind::transition_up_fail});
+  map.add({0, 2, fault_kind::transition_down_fail});
+  EXPECT_EQ(map.apply_write(0, 0x00, 0xFF), 0xFDULL);  // bit1 cannot rise
+  EXPECT_EQ(map.apply_write(0, 0xFF, 0x00), 0x04ULL);  // bit2 cannot fall
+  EXPECT_EQ(map.apply_write(0, 0x02, 0x02), 0x02ULL);  // no transition, no effect
+}
+
+TEST(TransitionFaultTest, KindRoundTripsThroughQueries) {
+  fault_map map({4, 16});
+  map.add({1, 5, fault_kind::transition_up_fail});
+  map.add({2, 6, fault_kind::transition_down_fail});
+  EXPECT_EQ(map.faults_in_row(1)[0].kind, fault_kind::transition_up_fail);
+  EXPECT_EQ(map.faults_in_row(2)[0].kind, fault_kind::transition_down_fail);
+  // Replacing with a stuck-at clears the transition behaviour.
+  map.add({1, 5, fault_kind::stuck_at_one});
+  EXPECT_EQ(map.faults_in_row(1)[0].kind, fault_kind::stuck_at_one);
+  EXPECT_EQ(map.apply_write(1, 0x00, 0x20), 0x20ULL);
+}
+
+TEST(TransitionFaultTest, ReadCorruptionIgnoresTransitionCells) {
+  fault_map map({1, 8});
+  map.add({0, 4, fault_kind::transition_up_fail});
+  // corrupt() models read-visible faults only; the TF cell reads back
+  // whatever the (write-time) cell contents are.
+  EXPECT_EQ(map.corrupt(0, 0x10), 0x10ULL);
+}
+
+TEST(TransitionFaultTest, MarchCMinusDetectsBothTransitionKinds) {
+  const array_geometry geometry{32, 16};
+  fault_map injected(geometry);
+  injected.add({3, 7, fault_kind::transition_up_fail});
+  injected.add({9, 2, fault_kind::transition_down_fail});
+  sram_array array(injected);
+
+  const bist_result result = bist_engine(march_c_minus(), {0x0ULL}).run(array);
+  EXPECT_FALSE(result.pass);
+  ASSERT_TRUE(result.faults.row_has_faults(3));
+  ASSERT_TRUE(result.faults.row_has_faults(9));
+  EXPECT_EQ(result.faults.faults_in_row(3)[0].col, 7u);
+  EXPECT_EQ(result.faults.faults_in_row(9)[0].col, 2u);
+  // Behavioural classification: a TF-up cell that can never reach 1 is
+  // diagnosed as its stuck-at equivalent — which is what the FM-LUT
+  // programming needs to know.
+  EXPECT_EQ(result.faults.faults_in_row(3)[0].kind, fault_kind::stuck_at_zero);
+  EXPECT_EQ(result.faults.faults_in_row(9)[0].kind, fault_kind::stuck_at_one);
+}
+
+TEST(TransitionFaultTest, ShuffleBoundsTransitionFaultErrors) {
+  rng gen(77);
+  const std::uint32_t rows = 128;
+  fault_map faults({rows, 32});
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    faults.add({r, static_cast<std::uint32_t>(gen.uniform_below(32)),
+                (r & 1) != 0 ? fault_kind::transition_up_fail
+                             : fault_kind::transition_down_fail});
+  }
+  sram_array array(faults);
+  shuffle_scheme scheme(rows, 32, 5);
+  bist_engine().run_and_program(array, scheme);
+
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    const word_t data = gen() & word_mask(32);
+    array.write(r, scheme.apply_write(r, data));
+    const word_t readback = scheme.restore_read(r, array.read(r));
+    EXPECT_LE(std::abs(to_signed(readback, 32) - to_signed(data, 32)), 1)
+        << "row " << r;
+  }
+}
+
+TEST(TransitionFaultTest, MixedPolaritySamplerProducesAllKinds) {
+  rng gen(88);
+  const fault_map map =
+      sample_fault_map_exact({256, 32}, 2000, gen, fault_polarity::mixed);
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (const fault& f : map.all_faults()) {
+    ++counts[static_cast<std::size_t>(f.kind)];
+  }
+  EXPECT_NEAR(counts[0], 700, 120);  // SA0 ~35%
+  EXPECT_NEAR(counts[1], 700, 120);  // SA1 ~35%
+  EXPECT_NEAR(counts[2], 200, 80);   // flip ~10%
+  EXPECT_NEAR(counts[3], 200, 80);   // TF-up ~10%
+  EXPECT_NEAR(counts[4], 200, 80);   // TF-down ~10%
+}
+
+}  // namespace
+}  // namespace urmem
