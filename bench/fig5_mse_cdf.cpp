@@ -7,18 +7,68 @@
 //   --runs=N    total Monte-Carlo runs Trun   (default 1e7, the paper value)
 //   --pcell=P   cell failure probability      (default 5e-6)
 //   --nmax=N    largest failure-count stratum (default 150)
+//   --threads=N campaign workers              (default 0 = all cores)
+//   --batch=N   trials per scheduling step    (default 0 = auto)
 //   --analytic  closed-form convolution mixture instead of Monte Carlo
 //               (milliseconds instead of seconds; see yield/analytic.hpp)
 //   --seed=S
+//
+// The Monte-Carlo path shards the stratified sweep over the parallel
+// campaign engine; for a fixed seed the CDFs are bit-identical at any
+// --threads.
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "urmem/common/binomial.hpp"
 #include "urmem/common/table.hpp"
 #include "urmem/scheme/protection_scheme.hpp"
+#include "urmem/sim/campaign_runner.hpp"
 #include "urmem/yield/analytic.hpp"
 #include "urmem/yield/mse_distribution.hpp"
+
+namespace {
+
+// Stratified Fig. 5 sweep of one scheme as a fault-injection campaign:
+// trial i belongs to the stratum covering i in the flattened per-stratum
+// sample allocation, and every trial draws its own fault map on its own
+// deterministic stream.
+urmem::empirical_cdf campaign_mse_cdf(urmem::campaign_runner& runner,
+                                      const urmem::protection_scheme& scheme,
+                                      std::uint32_t rows, double pcell,
+                                      const urmem::mse_cdf_config& config) {
+  using namespace urmem;
+  const array_geometry geometry{rows, scheme.storage_bits()};
+  std::vector<mse_stratum> strata = mse_strata(geometry, pcell, config);
+  if (config.include_fault_free) {
+    // Same Pr(N = 0) mass at MSE 0 that compute_mse_cdf prepends; an
+    // n = 0 trial draws no cells and costs 0 without touching its rng.
+    const binomial_distribution dist(geometry.cells(), pcell);
+    strata.insert(strata.begin(), {0, 1, dist.pmf(0)});
+  }
+
+  std::vector<std::uint64_t> starts;  // first trial index of each stratum
+  starts.reserve(strata.size());
+  std::uint64_t trials = 0;
+  for (const mse_stratum& s : strata) {
+    starts.push_back(trials);
+    trials += s.count;
+  }
+
+  return runner.map_weighted(
+      trials, [&](std::uint64_t trial, rng& gen) -> weighted_sample {
+        const auto it = std::upper_bound(starts.begin(), starts.end(), trial);
+        const mse_stratum& s = strata[static_cast<std::size_t>(
+            std::distance(starts.begin(), it) - 1)];
+        return {sample_mse(scheme, geometry, s.n, gen), s.weight_each};
+      });
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace urmem;
@@ -46,6 +96,17 @@ int main(int argc, char** argv) {
   schemes.push_back(make_scheme_pecc());
 
   const bool analytic = args.has("analytic");
+  std::optional<campaign_runner> runner;
+  if (!analytic) {
+    runner.emplace(campaign_config{
+        .threads = static_cast<unsigned>(args.get_u64("threads", 0)),
+        .batch_size = args.get_u64("batch", 0),
+        .seed = config.seed});
+    // Scheduling diagnostics go to stderr: stdout stays byte-identical
+    // across --threads values.
+    std::cerr << "campaign threads = " << runner->threads() << "\n";
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
   std::vector<empirical_cdf> cdfs;
   for (const auto& scheme : schemes) {
     if (analytic) {
@@ -55,9 +116,15 @@ int main(int argc, char** argv) {
       cdfs.push_back(analytic_mse_cdf(*scheme, rows, pcell, acfg));
     } else {
       std::cerr << "  sampling " << scheme->name() << "...\n";
-      cdfs.push_back(compute_mse_cdf(*scheme, rows, pcell, config));
+      cdfs.push_back(campaign_mse_cdf(*runner, *scheme, rows, pcell, config));
+      const campaign_stats stats = runner->last_stats();
+      std::cerr << "    " << stats.trials << " trials in " << stats.batches
+                << " batches (" << stats.steals << " steals)\n";
     }
   }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - sweep_start);
+  std::cerr << "  sweep wall time: " << elapsed.count() << " ms\n";
 
   // The paper's x-axis: MSE from 1e-4 to 1e8.
   std::vector<std::string> headers{"MSE <="};

@@ -117,6 +117,25 @@ class rng {
   bool have_cached_ = false;
 };
 
+/// Derives the seed of substream `stream` of a root `seed` — the
+/// stream-splitting transform behind rng::split, exposed so campaign
+/// engines can hand trial i its own engine without materializing (or
+/// sharing) the root: stream_seed(seed, i) seeds an engine equal to
+/// rng(seed).split(i). Distinct streams are decorrelated by two
+/// splitmix64 passes, so trial indices 0, 1, 2, ... are safe stream ids.
+[[nodiscard]] constexpr std::uint64_t stream_seed(std::uint64_t seed,
+                                                  std::uint64_t stream) {
+  return splitmix64(splitmix64(seed) ^
+                    splitmix64(stream ^ 0xa0761d6478bd642fULL));
+}
+
+/// Independent engine for substream `stream` of root `seed`; equivalent
+/// to rng(seed).split(stream).
+[[nodiscard]] constexpr rng make_stream_rng(std::uint64_t seed,
+                                            std::uint64_t stream) {
+  return rng(stream_seed(seed, stream));
+}
+
 /// Stateless counter-based generator: an independent uniform draw per
 /// (seed, index) pair. Evaluating the same pair always yields the same
 /// value, so per-cell properties derived from it are persistent — exactly

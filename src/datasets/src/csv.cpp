@@ -109,8 +109,11 @@ void write_csv(std::ostream& out, const dataset& data, char separator) {
   const bool has_target = !data.targets.empty() || !data.labels.empty();
   for (std::size_t c = 0; c < data.dimension(); ++c) {
     if (c > 0) out << separator;
-    out << (c < data.feature_names.size() ? data.feature_names[c]
-                                          : "f" + std::to_string(c));
+    if (c < data.feature_names.size()) {
+      out << data.feature_names[c];
+    } else {
+      out << 'f' << c;
+    }
   }
   if (has_target) out << separator << (data.labels.empty() ? "target" : "label");
   out << '\n';

@@ -17,6 +17,7 @@
 #include "urmem/common/stats.hpp"
 #include "urmem/memory/fault_sampler.hpp"
 #include "urmem/sim/applications.hpp"
+#include "urmem/sim/campaign_runner.hpp"
 #include "urmem/sim/memory_pipeline.hpp"
 
 namespace urmem {
@@ -29,6 +30,8 @@ struct quality_experiment_config {
   double coverage = 0.99;              ///< quantile defining Nmax
   fault_polarity polarity = fault_polarity::flip;  ///< paper injects bit-flips
   std::uint64_t seed = 99;
+  unsigned threads = 1;                ///< campaign workers; 0 = all cores
+  std::uint64_t batch_size = 0;        ///< trials per scheduling step; 0 = auto
 };
 
 /// One scheme's quality distribution.
@@ -40,10 +43,20 @@ struct quality_result {
 
 /// Runs the stratified sweep of one application under one scheme.
 /// The normalized metric is evaluate(corrupted)/evaluate(clean),
-/// clamped to [0, 1].
+/// clamped to [0, 1]. Trials are sharded over a campaign_runner seeded
+/// with `config.seed`, so the result is bit-identical for a fixed seed
+/// at any `config.threads`.
 [[nodiscard]] quality_result run_quality_experiment(
     const application& app, const scheme_factory& factory,
     const std::string& scheme_name, const quality_experiment_config& config);
+
+/// Same sweep on an existing (shared) campaign runner; per-trial streams
+/// derive from `runner.seed()`. Lets one pool serve the whole Fig. 7
+/// scheme x application grid without re-spawning workers.
+[[nodiscard]] quality_result run_quality_experiment(
+    const application& app, const scheme_factory& factory,
+    const std::string& scheme_name, const quality_experiment_config& config,
+    campaign_runner& runner);
 
 /// Largest failure count Nmax such that `coverage` of the memories have
 /// at most Nmax failures (per 16 KB tile).

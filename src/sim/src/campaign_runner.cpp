@@ -1,0 +1,320 @@
+#include "urmem/sim/campaign_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+namespace {
+
+/// Contiguous [next, end) trial range owned by one worker. The mutex
+/// serializes owner claims against thief splits; the fields are atomic
+/// so victim-selection can snapshot backlogs without taking locks.
+struct shard {
+  std::mutex mutex;
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> end{0};
+};
+
+/// One campaign in flight: the shards, the body, and the merged
+/// bookkeeping. Lives on run()'s stack; workers borrow it.
+struct campaign {
+  const campaign_runner::worker_trial_body* body = nullptr;
+  std::uint64_t seed = 0;
+  std::uint64_t batch = 1;
+  std::unique_ptr<shard[]> shards;
+  unsigned shard_count = 0;
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void record_error(std::exception_ptr e) {
+    const std::scoped_lock lock(error_mutex);
+    if (!error) error = std::move(e);
+    cancelled.store(true, std::memory_order_relaxed);
+  }
+};
+
+/// Claims up to `batch` trials from the front of `s`.
+bool claim(shard& s, std::uint64_t batch, std::uint64_t& begin,
+           std::uint64_t& end) {
+  const std::scoped_lock lock(s.mutex);
+  const std::uint64_t next = s.next.load(std::memory_order_relaxed);
+  const std::uint64_t limit = s.end.load(std::memory_order_relaxed);
+  if (next >= limit) return false;
+  begin = next;
+  end = std::min(limit, begin + batch);
+  s.next.store(end, std::memory_order_relaxed);
+  return true;
+}
+
+/// Moves half of the fullest foreign backlog into `self`'s drained
+/// shard. The refilled shard is claimed batch-wise afterwards (and can
+/// itself be stolen from again), so one steal never turns into a
+/// monolithic uninterruptible range.
+bool steal(campaign& job, unsigned self) {
+  // Lock-free snapshot picks the victim; the split is re-checked under
+  // the victim's lock.
+  unsigned victim = job.shard_count;
+  std::uint64_t best = 0;
+  for (unsigned i = 0; i < job.shard_count; ++i) {
+    if (i == self) continue;
+    const shard& s = job.shards[i];
+    const std::uint64_t next = s.next.load(std::memory_order_relaxed);
+    const std::uint64_t limit = s.end.load(std::memory_order_relaxed);
+    const std::uint64_t remaining = limit > next ? limit - next : 0;
+    if (remaining > best) {
+      best = remaining;
+      victim = i;
+    }
+  }
+  if (victim == job.shard_count) return false;
+
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  {
+    shard& v = job.shards[victim];
+    const std::scoped_lock lock(v.mutex);
+    const std::uint64_t next = v.next.load(std::memory_order_relaxed);
+    const std::uint64_t limit = v.end.load(std::memory_order_relaxed);
+    if (next >= limit) return false;
+    const std::uint64_t remaining = limit - next;
+    begin = next;
+    end = begin + (remaining - remaining / 2);  // ceil(half)
+    v.next.store(end, std::memory_order_relaxed);
+  }
+  // Only the owner refills its shard, and it is empty while stealing.
+  shard& own = job.shards[self];
+  const std::scoped_lock lock(own.mutex);
+  own.next.store(begin, std::memory_order_relaxed);
+  own.end.store(end, std::memory_order_relaxed);
+  return true;
+}
+
+/// Worker body: drain own shard in batches, refilling it by stealing,
+/// until the campaign is exhausted (or cancelled by a trial exception).
+void execute(campaign& job, unsigned self) {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  for (;;) {
+    if (job.cancelled.load(std::memory_order_relaxed)) return;
+    if (!claim(job.shards[self], job.batch, begin, end)) {
+      if (!steal(job, self)) return;
+      job.steals.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    job.batches.fetch_add(1, std::memory_order_relaxed);
+    try {
+      for (std::uint64_t trial = begin; trial < end; ++trial) {
+        rng gen = make_stream_rng(job.seed, trial);
+        (*job.body)(trial, gen, self);
+      }
+    } catch (...) {
+      job.record_error(std::current_exception());
+      return;
+    }
+  }
+}
+
+std::uint64_t auto_batch(std::uint64_t trials, unsigned threads) {
+  // Roughly 32 scheduling steps per worker, clamped so micro-trial
+  // campaigns (Fig. 5: ~1e7 cheap trials) do not serialize on the locks
+  // and heavy-trial campaigns (Fig. 7: retraining) still balance.
+  const std::uint64_t target =
+      trials / (static_cast<std::uint64_t>(threads) * 32 + 1);
+  return std::clamp<std::uint64_t>(target, 1, 4096);
+}
+
+}  // namespace
+
+/// Persistent worker pool: workers sleep between campaigns and wake on a
+/// generation bump.
+struct campaign_runner::pool {
+  explicit pool(unsigned workers) {
+    threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      threads.emplace_back([this, i] { worker_main(i); });
+    }
+  }
+
+  ~pool() {
+    {
+      const std::scoped_lock lock(mutex);
+      stopping = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& t : threads) t.join();
+  }
+
+  void run(campaign& job) {
+    {
+      const std::scoped_lock lock(mutex);
+      current = &job;
+      ++generation;
+      workers_done = 0;
+    }
+    work_cv.notify_all();
+    std::unique_lock lock(mutex);
+    done_cv.wait(lock, [this] { return workers_done == threads.size(); });
+    current = nullptr;
+  }
+
+  void worker_main(unsigned id) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      campaign* job = nullptr;
+      {
+        std::unique_lock lock(mutex);
+        work_cv.wait(lock, [&] { return stopping || generation != seen; });
+        if (stopping) return;
+        seen = generation;
+        job = current;
+      }
+      execute(*job, id);
+      {
+        const std::scoped_lock lock(mutex);
+        if (++workers_done == threads.size()) done_cv.notify_one();
+      }
+    }
+  }
+
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> threads;
+  campaign* current = nullptr;
+  std::uint64_t generation = 0;
+  std::size_t workers_done = 0;
+  bool stopping = false;
+};
+
+campaign_runner::campaign_runner(campaign_config config)
+    : config_(config) {
+  thread_count_ = config.threads != 0
+                      ? config.threads
+                      : std::max(1u, std::thread::hardware_concurrency());
+  if (thread_count_ > 1) pool_ = std::make_unique<pool>(thread_count_);
+}
+
+campaign_runner::~campaign_runner() = default;
+
+void campaign_runner::run(std::uint64_t trials, const trial_body& body) {
+  expects(static_cast<bool>(body), "campaign needs a trial body");
+  run(trials, worker_trial_body([&body](std::uint64_t trial, rng& gen,
+                                        unsigned) { body(trial, gen); }));
+}
+
+void campaign_runner::run(std::uint64_t trials, const worker_trial_body& body) {
+  expects(static_cast<bool>(body), "campaign needs a trial body");
+  last_stats_ = campaign_stats{};
+  last_stats_.threads = thread_count_;
+  if (trials == 0) return;
+
+  campaign job;
+  job.body = &body;
+  job.seed = config_.seed;
+  job.batch = config_.batch_size != 0 ? config_.batch_size
+                                      : auto_batch(trials, thread_count_);
+  job.shard_count = thread_count_;
+  job.shards = std::make_unique<shard[]>(thread_count_);
+  // Even contiguous pre-split; the remainder spreads over the low shards.
+  const std::uint64_t quota = trials / thread_count_;
+  const std::uint64_t extra = trials % thread_count_;
+  std::uint64_t cursor = 0;
+  for (unsigned i = 0; i < thread_count_; ++i) {
+    job.shards[i].next = cursor;
+    cursor += quota + (i < extra ? 1 : 0);
+    job.shards[i].end = cursor;
+  }
+
+  if (pool_ != nullptr) {
+    pool_->run(job);
+  } else {
+    execute(job, 0);
+  }
+
+  last_stats_.trials = trials;
+  last_stats_.batches = job.batches.load(std::memory_order_relaxed);
+  last_stats_.steals = job.steals.load(std::memory_order_relaxed);
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+empirical_cdf campaign_runner::map_weighted(
+    std::uint64_t trials,
+    const std::function<weighted_sample(std::uint64_t, rng&)>& fn) {
+  expects(static_cast<bool>(fn), "campaign needs a sampling body");
+  expects(trials > 0, "a weighted campaign needs at least one trial");
+  std::vector<weighted_sample> samples(trials);
+  run(trials, [&samples, &fn](std::uint64_t trial, rng& gen) {
+    samples[trial] = fn(trial, gen);
+  });
+  std::vector<double> values;
+  std::vector<double> weights;
+  values.reserve(trials);
+  weights.reserve(trials);
+  for (const weighted_sample& s : samples) {
+    values.push_back(s.value);
+    weights.push_back(s.weight);
+  }
+  return empirical_cdf(std::move(values), std::move(weights));
+}
+
+empirical_cdf campaign_runner::run_weighted(std::uint64_t trials,
+                                            const sampling_body& body) {
+  expects(static_cast<bool>(body), "campaign needs a sampling body");
+  // Per-worker flat buffers (reused scratch per trial) keep the memory
+  // and allocation count flat even for 1e7-trial micro-campaigns.
+  struct tagged_sample {
+    std::uint64_t trial;
+    weighted_sample sample;
+  };
+  std::vector<std::vector<tagged_sample>> buffers(thread_count_);
+  std::vector<std::vector<weighted_sample>> scratch(thread_count_);
+  run(trials, worker_trial_body([&](std::uint64_t trial, rng& gen,
+                                    unsigned worker) {
+    std::vector<weighted_sample>& out = scratch[worker];
+    out.clear();
+    body(trial, gen, out);
+    for (const weighted_sample& s : out) buffers[worker].push_back({trial, s});
+  }));
+
+  // Merge in trial order. Every trial runs on exactly one worker, so its
+  // samples sit contiguously (in emission order) in one buffer; a stable
+  // sort by trial index therefore yields a schedule-independent order,
+  // and with it bit-identical floating-point accumulation.
+  std::size_t total = 0;
+  for (const auto& buffer : buffers) total += buffer.size();
+  ensures(total > 0, "campaign emitted no samples");
+  std::vector<tagged_sample> merged;
+  merged.reserve(total);
+  for (auto& buffer : buffers) {
+    merged.insert(merged.end(), buffer.begin(), buffer.end());
+    buffer.clear();
+    buffer.shrink_to_fit();
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const tagged_sample& a, const tagged_sample& b) {
+                     return a.trial < b.trial;
+                   });
+
+  std::vector<double> values;
+  std::vector<double> weights;
+  values.reserve(total);
+  weights.reserve(total);
+  for (const tagged_sample& s : merged) {
+    values.push_back(s.sample.value);
+    weights.push_back(s.sample.weight);
+  }
+  return empirical_cdf(std::move(values), std::move(weights));
+}
+
+}  // namespace urmem

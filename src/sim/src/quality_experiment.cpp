@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "urmem/common/binomial.hpp"
 #include "urmem/common/contracts.hpp"
@@ -20,16 +21,18 @@ std::uint64_t failure_count_limit(const quality_experiment_config& config) {
 quality_result run_quality_experiment(const application& app,
                                       const scheme_factory& factory,
                                       const std::string& scheme_name,
-                                      const quality_experiment_config& config) {
+                                      const quality_experiment_config& config,
+                                      campaign_runner& runner) {
   expects(config.samples_per_count >= 1, "need at least one sample per count");
   expects(config.pcell > 0.0 && config.pcell < 1.0, "pcell must be in (0,1)");
 
-  rng gen(config.seed);
-
-  // Fault-free baseline: quantization round trip only.
+  // Fault-free baseline: quantization round trip only, on a reserved
+  // stream outside the trial-index range.
+  rng baseline_gen =
+      make_stream_rng(runner.seed(), 0xba5e11e5eedf1a65ULL);
   const matrix clean_stored =
       store_and_readback(app.train_features(), config.storage, factory,
-                         no_fault_injector(), gen);
+                         no_fault_injector(), baseline_gen);
   const double clean_metric = app.evaluate(clean_stored);
   ensures(std::isfinite(clean_metric) && clean_metric != 0.0,
           "clean baseline metric must be finite and nonzero");
@@ -39,33 +42,51 @@ quality_result run_quality_experiment(const application& app,
                                 config.storage.word_bits};
   const binomial_distribution dist(geometry.cells(), config.pcell);
 
-  std::vector<double> values;
-  std::vector<double> weights;
-  values.reserve(n_max * config.samples_per_count);
-  weights.reserve(n_max * config.samples_per_count);
-
+  // Strata with positive binomial mass; each contributes
+  // samples_per_count trials weighted Pr(N = n) / samples_per_count.
+  struct stratum {
+    std::uint64_t n;
+    double weight_each;
+  };
+  std::vector<stratum> strata;
+  strata.reserve(n_max);
   for (std::uint64_t n = 1; n <= n_max; ++n) {
     const double pn = dist.pmf(n);
     if (pn <= 0.0) continue;
-    const double weight_each = pn / config.samples_per_count;
-    const fault_injector inject = exact_fault_injector(n, config.polarity);
-    for (std::uint32_t s = 0; s < config.samples_per_count; ++s) {
-      const matrix stored = store_and_readback(app.train_features(),
-                                               config.storage, factory, inject, gen);
-      const double metric = app.evaluate(stored);
-      const double normalized =
-          std::clamp(std::isfinite(metric) ? metric / clean_metric : 0.0, 0.0, 1.0);
-      values.push_back(normalized);
-      weights.push_back(weight_each);
-    }
+    strata.push_back({n, pn / config.samples_per_count});
   }
-  ensures(!values.empty(), "no quality samples were produced");
+  ensures(!strata.empty(), "no failure-count stratum has positive mass");
+
+  const std::uint64_t trials = strata.size() * config.samples_per_count;
+  empirical_cdf cdf = runner.map_weighted(
+      trials, [&](std::uint64_t trial, rng& gen) -> weighted_sample {
+        const stratum& s = strata[trial / config.samples_per_count];
+        const fault_injector inject =
+            exact_fault_injector(s.n, config.polarity);
+        const matrix stored = store_and_readback(app.train_features(),
+                                                 config.storage, factory,
+                                                 inject, gen);
+        const double metric = app.evaluate(stored);
+        const double normalized = std::clamp(
+            std::isfinite(metric) ? metric / clean_metric : 0.0, 0.0, 1.0);
+        return {normalized, s.weight_each};
+      });
 
   quality_result result;
   result.scheme_name = scheme_name;
   result.clean_metric = clean_metric;
-  result.cdf = empirical_cdf(std::move(values), std::move(weights));
+  result.cdf = std::move(cdf);
   return result;
+}
+
+quality_result run_quality_experiment(const application& app,
+                                      const scheme_factory& factory,
+                                      const std::string& scheme_name,
+                                      const quality_experiment_config& config) {
+  campaign_runner runner({.threads = config.threads,
+                          .batch_size = config.batch_size,
+                          .seed = config.seed});
+  return run_quality_experiment(app, factory, scheme_name, config, runner);
 }
 
 }  // namespace urmem

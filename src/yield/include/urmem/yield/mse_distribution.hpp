@@ -40,6 +40,28 @@ struct mse_cdf_config {
   std::uint64_t seed = 42;
 };
 
+/// One stratum of the stratified sweep: `count` random fault maps at
+/// failure count `n`, each carrying probability weight `weight_each`.
+struct mse_stratum {
+  std::uint64_t n = 0;
+  std::uint64_t count = 0;
+  double weight_each = 0.0;
+};
+
+/// Per-stratum sample allocation Pr(N = n) * total_runs of the Fig. 5
+/// sweep over `geometry`; strata whose allocation rounds to zero are
+/// omitted (the paper's "samples per count = Pr(N = n) * Trun").
+[[nodiscard]] std::vector<mse_stratum> mse_strata(
+    const array_geometry& geometry, double pcell, const mse_cdf_config& config);
+
+/// Draws one exactly-`n`-fault map over `geometry` and evaluates Eq. (6)
+/// through the scheme — the per-trial kernel of compute_mse_cdf. Scratch
+/// buffers are thread-local, so concurrent calls (one rng per caller)
+/// are safe: this is the trial body the parallel campaign engine runs.
+[[nodiscard]] double sample_mse(const protection_scheme& scheme,
+                                const array_geometry& geometry,
+                                std::uint64_t n, rng& gen);
+
 /// Stratified Monte-Carlo CDF of the analytic MSE of `scheme` on a
 /// memory with `rows` words and cell failure probability `pcell`.
 /// Fault positions are uniform over the scheme's storage columns.
