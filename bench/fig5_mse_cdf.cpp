@@ -107,6 +107,7 @@ int main(int argc, char** argv) {
     std::cerr << "campaign threads = " << runner->threads() << "\n";
   }
   const auto sweep_start = std::chrono::steady_clock::now();
+  std::uint64_t total_trials = 0;
   std::vector<empirical_cdf> cdfs;
   for (const auto& scheme : schemes) {
     if (analytic) {
@@ -118,6 +119,7 @@ int main(int argc, char** argv) {
       std::cerr << "  sampling " << scheme->name() << "...\n";
       cdfs.push_back(campaign_mse_cdf(*runner, *scheme, rows, pcell, config));
       const campaign_stats stats = runner->last_stats();
+      total_trials += stats.trials;
       std::cerr << "    " << stats.trials << " trials in " << stats.batches
                 << " batches (" << stats.steals << " steals)\n";
     }
@@ -125,6 +127,30 @@ int main(int argc, char** argv) {
   const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - sweep_start);
   std::cerr << "  sweep wall time: " << elapsed.count() << " ms\n";
+
+  // Machine-readable telemetry (file + stderr note only: stdout must stay
+  // byte-identical across --threads and fault-path choices).
+  {
+    const double wall_ms = static_cast<double>(elapsed.count());
+    bench::json_object payload = bench::bench_envelope("fig5_mse_cdf");
+    bench::json_object jconfig;
+    jconfig.add("runs", config.total_runs)
+        .add("n_max", config.n_max)
+        .add("pcell", pcell)
+        .add("seed", config.seed)
+        .add("rows", std::uint64_t{rows})
+        .add("schemes", static_cast<std::uint64_t>(schemes.size()))
+        .add("threads",
+             analytic ? std::uint64_t{0} : std::uint64_t{runner->threads()})
+        .add("analytic", analytic);
+    payload.add_raw("config", jconfig.str());
+    payload.add("wall_ms", wall_ms);
+    payload.add("trials", total_trials);
+    payload.add("trials_per_sec",
+                wall_ms > 0.0 ? static_cast<double>(total_trials) / wall_ms * 1e3
+                              : 0.0);
+    bench::write_bench_json("fig5_mse_cdf", payload);
+  }
 
   // The paper's x-axis: MSE from 1e-4 to 1e8.
   std::vector<std::string> headers{"MSE <="};

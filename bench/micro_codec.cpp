@@ -1,8 +1,16 @@
-// Micro-benchmarks (google-benchmark): throughput of the protection
-// codecs — the software cost of each scheme's encode/decode path, which
-// dominates the Monte-Carlo experiment runtimes.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the protection codecs — the software cost of each
+// scheme's encode/decode path, which dominates the Monte-Carlo
+// experiment runtimes. Emits BENCH_micro_codec.json (see README "Bench
+// telemetry") so CI can track codec throughput across commits.
+//
+// Flags:
+//   --seed=S         data stream seed              (default 1)
+//   --min-time-ms=T  min wall time per timed bench (default 200)
+#include <cstdint>
+#include <iostream>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "urmem/common/rng.hpp"
 #include "urmem/ecc/hamming_secded.hpp"
 #include "urmem/ecc/priority_ecc.hpp"
@@ -12,59 +20,107 @@ namespace {
 
 using namespace urmem;
 
-void bm_secded_encode(benchmark::State& state) {
-  const hamming_secded code(static_cast<unsigned>(state.range(0)));
-  rng gen(1);
-  word_t data = gen() & word_mask(code.data_bits());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(code.encode(data));
-    data = (data * 0x9e3779b97f4a7c15ULL + 1) & word_mask(code.data_bits());
-  }
-}
-BENCHMARK(bm_secded_encode)->Arg(8)->Arg(16)->Arg(32)->Arg(57);
-
-void bm_secded_decode_clean(benchmark::State& state) {
-  const hamming_secded code(static_cast<unsigned>(state.range(0)));
-  rng gen(2);
-  const word_t cw = code.encode(gen() & word_mask(code.data_bits()));
-  for (auto _ : state) benchmark::DoNotOptimize(code.decode(cw));
-}
-BENCHMARK(bm_secded_decode_clean)->Arg(16)->Arg(32);
-
-void bm_secded_decode_correcting(benchmark::State& state) {
-  const hamming_secded code(32);
-  rng gen(3);
-  const word_t cw = code.encode(gen() & word_mask(32));
-  unsigned pos = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(code.decode(flip_bit(cw, pos)));
-    pos = (pos + 1) % code.codeword_bits();
-  }
-}
-BENCHMARK(bm_secded_decode_correcting);
-
-void bm_pecc_roundtrip(benchmark::State& state) {
-  const priority_ecc codec;
-  rng gen(4);
-  word_t data = gen() & word_mask(32);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(codec.decode(codec.encode(data)));
-    data = (data * 0x9e3779b97f4a7c15ULL + 1) & word_mask(32);
-  }
-}
-BENCHMARK(bm_pecc_roundtrip);
-
-void bm_shuffle_roundtrip(benchmark::State& state) {
-  const bit_shuffler shuffler(32, static_cast<unsigned>(state.range(0)));
-  rng gen(5);
-  word_t data = gen() & word_mask(32);
-  unsigned xfm = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(shuffler.restore(shuffler.apply(data, xfm), xfm));
-    xfm = (xfm + 1) % shuffler.segment_count();
-    data = (data * 0x9e3779b97f4a7c15ULL + 1) & word_mask(32);
-  }
-}
-BENCHMARK(bm_shuffle_roundtrip)->Arg(1)->Arg(3)->Arg(5);
+constexpr std::uint64_t kOpsPerRep = 1 << 14;
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  const bench::arg_parser args(argc, argv);
+  bench::banner("micro_codec — protection codec throughput",
+                "encode/decode cost behind the Fig. 5 / Fig. 7 campaigns");
+
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const double min_ms = args.get_double("min-time-ms", 200.0);
+  std::vector<bench::micro_result> results;
+
+  for (const unsigned data_bits : {16u, 32u, 57u}) {
+    const hamming_secded code(data_bits);
+    word_t data = rng(seed)() & word_mask(code.data_bits());
+    results.push_back(bench::run_micro(
+        "secded" + std::to_string(data_bits) + " encode", kOpsPerRep,
+        [&] {
+          word_t sum = 0;
+          for (std::uint64_t i = 0; i < kOpsPerRep; ++i) {
+            sum += code.encode(data);
+            data = (data * 0x9e3779b97f4a7c15ULL + 1) & word_mask(code.data_bits());
+          }
+          bench::keep(sum);
+        },
+        min_ms));
+  }
+
+  {
+    const hamming_secded code(32);
+    const word_t cw = code.encode(rng(seed + 1)() & word_mask(32));
+    results.push_back(bench::run_micro(
+        "secded32 decode clean", kOpsPerRep,
+        [&] {
+          word_t sum = 0;
+          for (std::uint64_t i = 0; i < kOpsPerRep; ++i) {
+            sum += code.decode(cw).data;
+          }
+          bench::keep(sum);
+        },
+        min_ms));
+    results.push_back(bench::run_micro(
+        "secded32 decode correcting", kOpsPerRep,
+        [&] {
+          word_t sum = 0;
+          unsigned pos = 0;
+          for (std::uint64_t i = 0; i < kOpsPerRep; ++i) {
+            sum += code.decode(flip_bit(cw, pos)).data;
+            pos = (pos + 1) % code.codeword_bits();
+          }
+          bench::keep(sum);
+        },
+        min_ms));
+  }
+
+  {
+    const priority_ecc codec;
+    word_t data = rng(seed + 2)() & word_mask(32);
+    results.push_back(bench::run_micro(
+        "pecc roundtrip", kOpsPerRep,
+        [&] {
+          word_t sum = 0;
+          for (std::uint64_t i = 0; i < kOpsPerRep; ++i) {
+            sum += codec.decode(codec.encode(data)).data;
+            data = (data * 0x9e3779b97f4a7c15ULL + 1) & word_mask(32);
+          }
+          bench::keep(sum);
+        },
+        min_ms));
+  }
+
+  for (const unsigned n_fm : {1u, 3u, 5u}) {
+    const bit_shuffler shuffler(32, n_fm);
+    word_t data = rng(seed + 3)() & word_mask(32);
+    results.push_back(bench::run_micro(
+        "shuffle nFM=" + std::to_string(n_fm) + " roundtrip", kOpsPerRep,
+        [&] {
+          word_t sum = 0;
+          unsigned xfm = 0;
+          for (std::uint64_t i = 0; i < kOpsPerRep; ++i) {
+            sum += shuffler.restore(shuffler.apply(data, xfm), xfm);
+            xfm = (xfm + 1) % shuffler.segment_count();
+            data = (data * 0x9e3779b97f4a7c15ULL + 1) & word_mask(32);
+          }
+          bench::keep(sum);
+        },
+        min_ms));
+  }
+
+  bench::print_micro_table(results);
+
+  bench::json_object payload = bench::bench_envelope("micro_codec");
+  bench::json_object config;
+  config.add("seed", seed).add("min_time_ms", min_ms).add("ops_per_rep",
+                                                          kOpsPerRep);
+  payload.add_raw("config", config.str());
+  std::vector<std::string> entries;
+  entries.reserve(results.size());
+  for (const auto& r : results) entries.push_back(bench::micro_json(r));
+  payload.add_raw("results", bench::json_array(entries));
+  bench::write_bench_json("micro_codec", payload);
+  return 0;
+}

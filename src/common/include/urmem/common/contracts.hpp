@@ -23,6 +23,16 @@ inline void expects(bool condition, const std::string& message,
   }
 }
 
+/// Literal-message overload: checks on per-word hot paths (sram_array
+/// read/write) must not construct a std::string per successful call.
+inline void expects(bool condition, const char* message,
+                    std::source_location loc = std::source_location::current()) {
+  if (condition) return;
+  throw std::invalid_argument(std::string(loc.file_name()) + ":" +
+                              std::to_string(loc.line()) +
+                              ": precondition violated: " + message);
+}
+
 /// Throws std::logic_error when an internal invariant does not hold.
 inline void ensures(bool condition, const std::string& message,
                     std::source_location loc = std::source_location::current()) {
@@ -31,6 +41,15 @@ inline void ensures(bool condition, const std::string& message,
                            std::to_string(loc.line()) +
                            ": invariant violated: " + message);
   }
+}
+
+/// Literal-message overload, same rationale as expects(bool, const char*).
+inline void ensures(bool condition, const char* message,
+                    std::source_location loc = std::source_location::current()) {
+  if (condition) return;
+  throw std::logic_error(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) +
+                         ": invariant violated: " + message);
 }
 
 }  // namespace urmem

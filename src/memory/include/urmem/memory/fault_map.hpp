@@ -99,6 +99,31 @@ class fault_map {
   [[nodiscard]] std::vector<std::uint32_t> active_fault_columns(std::uint32_t row,
                                                                 word_t ideal) const;
 
+  /// Dense bit-plane masks of one row — what fault_plane compiles into
+  /// contiguous per-mask arrays for the batched fast path.
+  struct row_planes {
+    word_t and_mask = ~word_t{0};
+    word_t or_mask = 0;
+    word_t xor_mask = 0;
+    word_t tf_up_mask = 0;
+    word_t tf_down_mask = 0;
+    word_t fault_cols = 0;
+  };
+
+  /// Compiled masks of `row` (identity masks when the row is fault-free).
+  [[nodiscard]] row_planes planes_of_row(std::uint32_t row) const;
+
+  /// Reference read semantics: walks the row's failing cells one at a
+  /// time and applies each fault individually — the per-fault debug
+  /// oracle the compiled plane is validated against (property tests and
+  /// the CI perf gate). Bit-identical to corrupt().
+  [[nodiscard]] word_t corrupt_reference(std::uint32_t row, word_t ideal) const;
+
+  /// Reference write semantics, per-cell walk; bit-identical to
+  /// apply_write().
+  [[nodiscard]] word_t apply_write_reference(std::uint32_t row, word_t old,
+                                             word_t incoming) const;
+
  private:
   struct row_state {
     word_t and_mask = ~word_t{0};  ///< clears stuck-at-0 columns

@@ -2,19 +2,32 @@
 //
 // The array stores one word per row and applies its fault map on every
 // read — the software equivalent of reading through failing bit-cells.
+// Reads and writes go through a compiled fault_plane (dense per-row
+// bit-plane masks, see fault_plane.hpp) which is recompiled whenever
+// set_faults installs a new map; the per-cell reference walk is kept as
+// a switchable debug oracle (fault_path::reference, or process-wide via
+// URMEM_FAULT_PATH=reference) and is bit-identical to the fast path.
 // A fault-free back door (read_ideal / raw word access) is provided for
 // test oracles and for the BIST engine's expected-data comparison.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "urmem/common/bitops.hpp"
 #include "urmem/memory/fault_map.hpp"
+#include "urmem/memory/fault_plane.hpp"
 
 namespace urmem {
 
-/// R x W bit SRAM with persistent stuck-at / flip faults.
+/// Which fault machinery serves reads and writes.
+enum class fault_path : std::uint8_t {
+  compiled,   ///< dense fault_plane masks (the fast path, default)
+  reference,  ///< per-cell fault walk (debug oracle, bit-identical)
+};
+
+/// R x W bit SRAM with persistent stuck-at / flip / transition faults.
 class sram_array {
  public:
   /// Fault-free array of the given geometry.
@@ -26,9 +39,23 @@ class sram_array {
   [[nodiscard]] const array_geometry& geometry() const { return faults_.geometry(); }
   [[nodiscard]] const fault_map& faults() const { return faults_; }
 
+  /// The compiled fault planes currently in effect.
+  [[nodiscard]] const fault_plane& plane() const { return plane_; }
+
   /// Replaces the fault map (e.g. after re-running BIST at a new supply
-  /// voltage). Geometry must match; stored data is preserved.
+  /// voltage) and recompiles the fault plane. Geometry must match;
+  /// stored data is preserved.
   void set_faults(fault_map faults);
+
+  /// Selects the compiled fast path or the per-cell reference oracle for
+  /// subsequent reads/writes. Both produce bit-identical results.
+  void set_fault_path(fault_path path) { path_ = path; }
+  [[nodiscard]] fault_path path() const { return path_; }
+
+  /// Process-wide default path: fault_path::reference when the
+  /// URMEM_FAULT_PATH environment variable is "reference" (read once),
+  /// fault_path::compiled otherwise.
+  [[nodiscard]] static fault_path default_fault_path();
 
   /// Number of rows R.
   [[nodiscard]] std::uint32_t rows() const { return geometry().rows; }
@@ -42,6 +69,15 @@ class sram_array {
   /// Reads `row` through the faulty cells.
   [[nodiscard]] word_t read(std::uint32_t row) const;
 
+  /// Batched write of rows [first, first + values.size()): one word per
+  /// row, streamed through the compiled planes. Counts one access per
+  /// word, added once for the whole row op.
+  void write_rows(std::uint32_t first, std::span<const word_t> values);
+
+  /// Batched read of rows [first, first + out.size()) through the
+  /// faulty cells. Counts one access per word, added once per row op.
+  void read_rows(std::uint32_t first, std::span<word_t> out) const;
+
   /// Reads `row` bypassing the faults (test/BIST oracle only; a real
   /// array has no such port).
   [[nodiscard]] word_t read_ideal(std::uint32_t row) const;
@@ -50,12 +86,15 @@ class sram_array {
   void fill(word_t value);
 
   /// Total accesses performed so far (reads + writes), for the energy
-  /// accounting in the hardware model examples.
+  /// accounting in the hardware model examples. Batched row ops count
+  /// exactly one access per word touched.
   [[nodiscard]] std::uint64_t access_count() const { return accesses_; }
 
  private:
   fault_map faults_;
+  fault_plane plane_;
   std::vector<word_t> data_;
+  fault_path path_ = default_fault_path();
   mutable std::uint64_t accesses_ = 0;
 };
 

@@ -99,6 +99,46 @@ word_t fault_map::apply_write(std::uint32_t row, word_t old, word_t incoming) co
   return ((incoming & ~blocked_up) | blocked_down) & mask;
 }
 
+fault_map::row_planes fault_map::planes_of_row(std::uint32_t row) const {
+  expects(row < geometry_.rows, "row out of range");
+  const row_state& state = rows_[row];
+  return {state.and_mask, state.or_mask,    state.xor_mask,
+          state.tf_up_mask, state.tf_down_mask, state.fault_cols};
+}
+
+word_t fault_map::corrupt_reference(std::uint32_t row, word_t ideal) const {
+  expects(row < geometry_.rows, "row out of range");
+  const row_state& state = rows_[row];
+  word_t out = ideal & word_mask(geometry_.width);
+  for (word_t pending = state.fault_cols; pending != 0; pending &= pending - 1) {
+    const word_t bit = pending & (~pending + 1);
+    if ((state.and_mask & bit) == 0) out &= ~bit;       // stuck-at-0
+    else if ((state.or_mask & bit) != 0) out |= bit;    // stuck-at-1
+    else if ((state.xor_mask & bit) != 0) out ^= bit;   // flip
+    // transition faults act at write time: read-transparent here
+  }
+  return out;
+}
+
+word_t fault_map::apply_write_reference(std::uint32_t row, word_t old,
+                                        word_t incoming) const {
+  expects(row < geometry_.rows, "row out of range");
+  const row_state& state = rows_[row];
+  const word_t mask = word_mask(geometry_.width);
+  old &= mask;
+  word_t out = incoming & mask;
+  for (word_t pending = state.fault_cols; pending != 0; pending &= pending - 1) {
+    const word_t bit = pending & (~pending + 1);
+    if ((state.tf_up_mask & bit) != 0 && (old & bit) == 0 && (out & bit) != 0) {
+      out &= ~bit;  // blocked 0 -> 1: the cell keeps its 0
+    } else if ((state.tf_down_mask & bit) != 0 && (old & bit) != 0 &&
+               (out & bit) == 0) {
+      out |= bit;  // blocked 1 -> 0: the cell keeps its 1
+    }
+  }
+  return out;
+}
+
 std::vector<std::uint32_t> fault_map::active_fault_columns(std::uint32_t row,
                                                            word_t ideal) const {
   const word_t diff = corrupt(row, ideal) ^ (ideal & word_mask(geometry_.width));

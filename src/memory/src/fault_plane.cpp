@@ -1,0 +1,90 @@
+#include "urmem/memory/fault_plane.hpp"
+
+namespace urmem {
+
+fault_plane::fault_plane(const fault_map& map) { recompile(map); }
+
+void fault_plane::recompile(const fault_map& map) {
+  geometry_ = map.geometry();
+  mask_ = geometry_.width == 0 ? 0 : word_mask(geometry_.width);
+  fault_count_ = map.fault_count();
+  // resize/assign reuse the existing capacity when the geometry repeats
+  // (the common case: a fresh map for the same array every trial).
+  and_.resize(geometry_.rows);
+  or_.resize(geometry_.rows);
+  xor_.resize(geometry_.rows);
+  tf_up_.resize(geometry_.rows);
+  tf_down_.resize(geometry_.rows);
+  faulty_rows_.assign((geometry_.rows + 63) / 64, 0);
+  for (std::uint32_t row = 0; row < geometry_.rows; ++row) {
+    const fault_map::row_planes planes = map.planes_of_row(row);
+    // Folding the width mask into the AND plane keeps every plane output
+    // width-masked without a separate masking op in the hot loop.
+    and_[row] = planes.and_mask & mask_;
+    or_[row] = planes.or_mask;
+    xor_[row] = planes.xor_mask;
+    tf_up_[row] = planes.tf_up_mask;
+    tf_down_[row] = planes.tf_down_mask;
+    if (planes.fault_cols != 0) {
+      faulty_rows_[row / 64] |= word_t{1} << (row % 64);
+    }
+  }
+}
+
+bool fault_plane::rows_fault_free(std::uint32_t first, std::size_t count) const {
+  expects(first <= geometry_.rows && count <= geometry_.rows - first,
+          "row range out of bounds");
+  if (fault_count_ == 0 || count == 0) return true;
+  const std::size_t last = first + count - 1;
+  const std::size_t first_word = first / 64;
+  const std::size_t last_word = last / 64;
+  for (std::size_t w = first_word; w <= last_word; ++w) {
+    word_t in_range = ~word_t{0};
+    if (w == first_word) in_range &= ~word_t{0} << (first % 64);
+    if (w == last_word && last % 64 != 63) {
+      in_range &= (word_t{1} << (last % 64 + 1)) - 1;
+    }
+    if ((faulty_rows_[w] & in_range) != 0) return false;
+  }
+  return true;
+}
+
+void fault_plane::corrupt_rows(std::uint32_t first,
+                               std::span<word_t> words) const {
+  expects(first <= geometry_.rows && words.size() <= geometry_.rows - first,
+          "row range out of bounds");
+  if (rows_fault_free(first, words.size())) return;  // already width-masked
+  const word_t* a = and_.data() + first;
+  const word_t* o = or_.data() + first;
+  const word_t* x = xor_.data() + first;
+  word_t* w = words.data();
+  const std::size_t count = words.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    w[i] = ((w[i] & a[i]) | o[i]) ^ x[i];
+  }
+}
+
+void fault_plane::apply_write_rows(std::uint32_t first,
+                                   std::span<const word_t> incoming,
+                                   std::span<word_t> storage) const {
+  expects(incoming.size() == storage.size(),
+          "incoming/storage span size mismatch");
+  expects(first <= geometry_.rows && incoming.size() <= geometry_.rows - first,
+          "row range out of bounds");
+  const std::size_t count = incoming.size();
+  if (rows_fault_free(first, count)) {
+    for (std::size_t i = 0; i < count; ++i) storage[i] = incoming[i] & mask_;
+    return;
+  }
+  const word_t* up = tf_up_.data() + first;
+  const word_t* down = tf_down_.data() + first;
+  for (std::size_t i = 0; i < count; ++i) {
+    const word_t value = incoming[i] & mask_;
+    const word_t old = storage[i];
+    const word_t blocked_up = up[i] & ~old & value;
+    const word_t blocked_down = down[i] & old & ~value;
+    storage[i] = (value & ~blocked_up) | blocked_down;
+  }
+}
+
+}  // namespace urmem

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "urmem/memory/sram_array.hpp"
 #include "urmem/scheme/protection_scheme.hpp"
@@ -35,6 +36,22 @@ class protected_memory {
 
   /// Reads and decodes a data word through the faulty array.
   [[nodiscard]] read_result read(std::uint32_t row) const;
+
+  /// Decode outcome counters of a batched read_block.
+  struct block_stats {
+    std::uint64_t uncorrectable = 0;  ///< words flagged detected_uncorrectable
+  };
+
+  /// Encodes `data` and streams it into rows [first, first + size)
+  /// through the array's batched fast path — one tile-sized row op
+  /// instead of per-word array calls.
+  void write_block(std::uint32_t first, std::span<const word_t> data);
+
+  /// Streams rows [first, first + size) out of the array and decodes
+  /// them into `out` (in place over the raw storage words), counting
+  /// uncorrectable words into `stats` when given.
+  void read_block(std::uint32_t first, std::span<word_t> out,
+                  block_stats* stats = nullptr) const;
 
   /// Analytic MSE of the current fault map under this scheme — Eq. (6)
   /// evaluated over all rows: (1/R) * sum_i (2^{b_i})^2.

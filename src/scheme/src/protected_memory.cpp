@@ -27,6 +27,31 @@ read_result protected_memory::read(std::uint32_t row) const {
   return scheme_->decode(row, array_.read(row));
 }
 
+void protected_memory::write_block(std::uint32_t first,
+                                   std::span<const word_t> data) {
+  // Scratch is thread-local: write_block sits in the per-trial campaign
+  // hot loop, and a fresh allocation per tile would undo the batching.
+  static thread_local std::vector<word_t> encoded;
+  encoded.resize(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    encoded[i] = scheme_->encode(first + static_cast<std::uint32_t>(i), data[i]);
+  }
+  array_.write_rows(first, encoded);
+}
+
+void protected_memory::read_block(std::uint32_t first, std::span<word_t> out,
+                                  block_stats* stats) const {
+  array_.read_rows(first, out);
+  block_stats local;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const read_result r =
+        scheme_->decode(first + static_cast<std::uint32_t>(i), out[i]);
+    out[i] = r.data;
+    if (r.status == ecc_status::detected_uncorrectable) ++local.uncorrectable;
+  }
+  if (stats != nullptr) *stats = local;
+}
+
 double protected_memory::analytic_mse() const {
   const fault_map& faults = array_.faults();
   double total = 0.0;

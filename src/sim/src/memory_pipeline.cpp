@@ -1,6 +1,7 @@
 #include "urmem/sim/memory_pipeline.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "urmem/common/binomial.hpp"
 #include "urmem/common/contracts.hpp"
@@ -31,16 +32,13 @@ matrix store_and_readback(const matrix& input, const storage_config& config,
     local.injected_faults += faults.fault_count();
     memory.set_fault_map(std::move(faults));
 
-    for (std::size_t i = 0; i < tile_words; ++i) {
-      memory.write(static_cast<std::uint32_t>(i), words[cursor + i]);
-    }
-    for (std::size_t i = 0; i < tile_words; ++i) {
-      const read_result r = memory.read(static_cast<std::uint32_t>(i));
-      restored[cursor + i] = r.data;
-      if (r.status == ecc_status::detected_uncorrectable) {
-        ++local.uncorrectable_words;
-      }
-    }
+    // Stream the whole tile through the batched fault-plane path: one
+    // row op per direction instead of per-word array calls.
+    memory.write_block(0, std::span<const word_t>(words).subspan(cursor, tile_words));
+    protected_memory::block_stats block;
+    memory.read_block(0, std::span<word_t>(restored).subspan(cursor, tile_words),
+                      &block);
+    local.uncorrectable_words += block.uncorrectable;
     ++local.tiles;
     cursor += tile_words;
   }
