@@ -42,12 +42,28 @@ class priority_ecc {
   /// The inner SECDED code (H(22,16) by default).
   [[nodiscard]] const hamming_secded& inner_code() const { return code_; }
 
-  /// Encodes a data word into its 38-column stored form.
-  [[nodiscard]] word_t encode(word_t data) const;
+  /// Encodes a data word into its 38-column stored form. Inline so the
+  /// block codec path composes on the inner code's compiled tables
+  /// without a call per word.
+  [[nodiscard]] word_t encode(word_t data) const {
+    data &= word_mask(word_bits_);
+    const unsigned u = unprotected_bits();
+    return (data & word_mask(u)) | (code_.encode(data >> u) << u);
+  }
 
   /// Decodes a stored row; status reflects the inner SECDED verdict
   /// (faults in the unprotected region are invisible to it).
-  [[nodiscard]] ecc_decode_result decode(word_t stored) const;
+  [[nodiscard]] ecc_decode_result decode(word_t stored) const {
+    const unsigned u = unprotected_bits();
+    const word_t low = stored & word_mask(u);
+    const ecc_decode_result inner = code_.decode(stored >> u);
+    return {low | (inner.data << u), inner.status};
+  }
+
+  /// Reference encode/decode: same split, inner code's per-bit walk.
+  /// The oracle the compiled path is proven bit-identical against.
+  [[nodiscard]] word_t encode_reference(word_t data) const;
+  [[nodiscard]] ecc_decode_result decode_reference(word_t stored) const;
 
   /// Logical data bit stored at `column`, or -1 when the column holds a
   /// check bit of the inner code. Unprotected columns map to bits

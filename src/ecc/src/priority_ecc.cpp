@@ -15,18 +15,18 @@ priority_ecc::priority_ecc(unsigned word_bits, unsigned protected_bits)
           "P-ECC storage row must fit in 64 columns");
 }
 
-word_t priority_ecc::encode(word_t data) const {
+word_t priority_ecc::encode_reference(word_t data) const {
   data &= word_mask(word_bits_);
   const unsigned u = unprotected_bits();
   const word_t low = data & word_mask(u);
   const word_t high = data >> u;
-  return low | (code_.encode(high) << u);
+  return low | (code_.encode_reference(high) << u);
 }
 
-ecc_decode_result priority_ecc::decode(word_t stored) const {
+ecc_decode_result priority_ecc::decode_reference(word_t stored) const {
   const unsigned u = unprotected_bits();
   const word_t low = stored & word_mask(u);
-  const ecc_decode_result inner = code_.decode(stored >> u);
+  const ecc_decode_result inner = code_.decode_reference(stored >> u);
   return {low | (inner.data << u), inner.status};
 }
 

@@ -31,25 +31,37 @@ class protected_memory {
   /// scheme reconfigure itself from it, the way a BIST pass would.
   void set_fault_map(fault_map faults);
 
+  /// Selects the compiled fast machinery or the reference oracle for
+  /// subsequent accesses — switches both the array's fault application
+  /// (see sram_array::set_fault_path) and the scheme codec path used by
+  /// write_block/read_block (block-compiled vs per-word reference).
+  void set_fault_path(fault_path path) { array_.set_fault_path(path); }
+
   /// Encodes and stores a data word.
   void write(std::uint32_t row, word_t data);
 
   /// Reads and decodes a data word through the faulty array.
   [[nodiscard]] read_result read(std::uint32_t row) const;
 
-  /// Decode outcome counters of a batched read_block.
-  struct block_stats {
-    std::uint64_t uncorrectable = 0;  ///< words flagged detected_uncorrectable
-  };
+  /// Decode outcome counters of a batched read_block — the scheme
+  /// layer's counters, accumulated over the whole block.
+  using block_stats = block_decode_stats;
 
-  /// Encodes `data` and streams it into rows [first, first + size)
-  /// through the array's batched fast path — one tile-sized row op
-  /// instead of per-word array calls.
+  /// Encodes `data` and streams it into rows [first, first + size):
+  /// one scheme->encode_block call into the tile scratch, then one
+  /// batched row op — no per-word virtual calls. When the array runs
+  /// the reference fault path (URMEM_FAULT_PATH=reference or
+  /// set_fault_path), encoding drops to the per-word
+  /// scheme->encode_reference oracle instead, so the figure benches
+  /// differentially test block-vs-scalar and compiled-vs-reference
+  /// codecs in one switch.
   void write_block(std::uint32_t first, std::span<const word_t> data);
 
   /// Streams rows [first, first + size) out of the array and decodes
-  /// them into `out` (in place over the raw storage words), counting
-  /// uncorrectable words into `stats` when given.
+  /// them into `out` (in place over the raw storage words) through
+  /// scheme->decode_block (or the per-word decode_reference oracle on
+  /// the reference path), accumulating decode outcomes into `stats`
+  /// when given.
   void read_block(std::uint32_t first, std::span<word_t> out,
                   block_stats* stats = nullptr) const;
 

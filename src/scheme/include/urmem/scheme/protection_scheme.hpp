@@ -33,6 +33,17 @@ struct read_result {
   ecc_status status = ecc_status::clean;
 };
 
+/// Decode outcome counters accumulated over one decode_block call.
+struct block_decode_stats {
+  std::uint64_t corrected = 0;        ///< words with a corrected single error
+  std::uint64_t uncorrectable = 0;    ///< words flagged detected_uncorrectable
+
+  void count(ecc_status status) {
+    if (status == ecc_status::corrected) ++corrected;
+    else if (status == ecc_status::detected_uncorrectable) ++uncorrectable;
+  }
+};
+
 /// Abstract fault-mitigation technique for a fixed-geometry memory.
 class protection_scheme {
  public:
@@ -61,6 +72,39 @@ class protection_scheme {
   /// Decodes the stored row back to a data word.
   [[nodiscard]] virtual read_result decode(std::uint32_t row, word_t stored) const = 0;
 
+  /// Batched encode of rows [first_row, first_row + data.size()):
+  /// out[i] = encode(first_row + i, data[i]). One virtual call per tile;
+  /// every concrete scheme overrides it with a devirtualized loop over
+  /// its compiled codec tables. `out` may alias `data` and must match
+  /// its length. The base implementation is the per-word scalar
+  /// fallback (and the semantic definition of the override).
+  virtual void encode_block(std::uint32_t first_row,
+                            std::span<const word_t> data,
+                            std::span<word_t> out) const;
+
+  /// Batched decode of rows [first_row, first_row + stored.size());
+  /// out[i] = decode(first_row + i, stored[i]).data, with the per-word
+  /// statuses accumulated into the returned counters. `out` may alias
+  /// `stored`.
+  virtual block_decode_stats decode_block(std::uint32_t first_row,
+                                          std::span<const word_t> stored,
+                                          std::span<word_t> out) const;
+
+  /// Reference (oracle) scalar encode/decode: the per-bit codec walks
+  /// the compiled fast paths were derived from. Bit-identical to
+  /// encode()/decode(); protected_memory routes through these when
+  /// URMEM_FAULT_PATH=reference so the figure benches differentially
+  /// test the compiled layer end to end. Defaults alias encode/decode
+  /// for schemes with no separate compiled form.
+  [[nodiscard]] virtual word_t encode_reference(std::uint32_t row,
+                                                word_t data) const {
+    return encode(row, data);
+  }
+  [[nodiscard]] virtual read_result decode_reference(std::uint32_t row,
+                                                     word_t stored) const {
+    return decode(row, stored);
+  }
+
   /// Worst-case squared error magnitude sum_i (2^{b_i})^2 contributed by
   /// a row whose faulty *storage* columns are `fault_cols`, assuming
   /// two's-complement integer data and BIST-optimal configuration
@@ -79,6 +123,11 @@ class none_scheme final : public protection_scheme {
   [[nodiscard]] unsigned storage_bits() const override { return width_; }
   [[nodiscard]] word_t encode(std::uint32_t row, word_t data) const override;
   [[nodiscard]] read_result decode(std::uint32_t row, word_t stored) const override;
+  void encode_block(std::uint32_t first_row, std::span<const word_t> data,
+                    std::span<word_t> out) const override;
+  block_decode_stats decode_block(std::uint32_t first_row,
+                                  std::span<const word_t> stored,
+                                  std::span<word_t> out) const override;
   [[nodiscard]] double worst_case_row_cost(
       std::span<const std::uint32_t> fault_cols) const override;
 
@@ -97,6 +146,15 @@ class secded_scheme final : public protection_scheme {
   [[nodiscard]] const hamming_secded& code() const { return code_; }
   [[nodiscard]] word_t encode(std::uint32_t row, word_t data) const override;
   [[nodiscard]] read_result decode(std::uint32_t row, word_t stored) const override;
+  void encode_block(std::uint32_t first_row, std::span<const word_t> data,
+                    std::span<word_t> out) const override;
+  block_decode_stats decode_block(std::uint32_t first_row,
+                                  std::span<const word_t> stored,
+                                  std::span<word_t> out) const override;
+  [[nodiscard]] word_t encode_reference(std::uint32_t row,
+                                        word_t data) const override;
+  [[nodiscard]] read_result decode_reference(std::uint32_t row,
+                                             word_t stored) const override;
   [[nodiscard]] double worst_case_row_cost(
       std::span<const std::uint32_t> fault_cols) const override;
 
@@ -115,6 +173,15 @@ class pecc_scheme final : public protection_scheme {
   [[nodiscard]] const priority_ecc& codec() const { return codec_; }
   [[nodiscard]] word_t encode(std::uint32_t row, word_t data) const override;
   [[nodiscard]] read_result decode(std::uint32_t row, word_t stored) const override;
+  void encode_block(std::uint32_t first_row, std::span<const word_t> data,
+                    std::span<word_t> out) const override;
+  block_decode_stats decode_block(std::uint32_t first_row,
+                                  std::span<const word_t> stored,
+                                  std::span<word_t> out) const override;
+  [[nodiscard]] word_t encode_reference(std::uint32_t row,
+                                        word_t data) const override;
+  [[nodiscard]] read_result decode_reference(std::uint32_t row,
+                                             word_t stored) const override;
   [[nodiscard]] double worst_case_row_cost(
       std::span<const std::uint32_t> fault_cols) const override;
 
@@ -137,6 +204,11 @@ class shuffle_protection final : public protection_scheme {
   void configure(const fault_map& faults) override;
   [[nodiscard]] word_t encode(std::uint32_t row, word_t data) const override;
   [[nodiscard]] read_result decode(std::uint32_t row, word_t stored) const override;
+  void encode_block(std::uint32_t first_row, std::span<const word_t> data,
+                    std::span<word_t> out) const override;
+  block_decode_stats decode_block(std::uint32_t first_row,
+                                  std::span<const word_t> stored,
+                                  std::span<word_t> out) const override;
   [[nodiscard]] double worst_case_row_cost(
       std::span<const std::uint32_t> fault_cols) const override;
 

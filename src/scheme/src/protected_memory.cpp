@@ -33,8 +33,14 @@ void protected_memory::write_block(std::uint32_t first,
   // hot loop, and a fresh allocation per tile would undo the batching.
   static thread_local std::vector<word_t> encoded;
   encoded.resize(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    encoded[i] = scheme_->encode(first + static_cast<std::uint32_t>(i), data[i]);
+  if (array_.path() == fault_path::reference) {
+    // Oracle: per-word virtual calls through the reference codecs.
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      encoded[i] = scheme_->encode_reference(
+          first + static_cast<std::uint32_t>(i), data[i]);
+    }
+  } else {
+    scheme_->encode_block(first, data, encoded);
   }
   array_.write_rows(first, encoded);
 }
@@ -43,20 +49,28 @@ void protected_memory::read_block(std::uint32_t first, std::span<word_t> out,
                                   block_stats* stats) const {
   array_.read_rows(first, out);
   block_stats local;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const read_result r =
-        scheme_->decode(first + static_cast<std::uint32_t>(i), out[i]);
-    out[i] = r.data;
-    if (r.status == ecc_status::detected_uncorrectable) ++local.uncorrectable;
+  if (array_.path() == fault_path::reference) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const read_result r = scheme_->decode_reference(
+          first + static_cast<std::uint32_t>(i), out[i]);
+      out[i] = r.data;
+      local.count(r.status);
+    }
+  } else {
+    local = scheme_->decode_block(first, out, out);
   }
   if (stats != nullptr) *stats = local;
 }
 
 double protected_memory::analytic_mse() const {
   const fault_map& faults = array_.faults();
+  // Hoisted column scratch — analytic_mse runs once per sampled map in
+  // the yield sweeps, and a fresh vector per faulty row adds an
+  // allocation for every faulty row of every map.
+  static thread_local std::vector<std::uint32_t> cols;
   double total = 0.0;
   for (const std::uint32_t row : faults.faulty_rows()) {
-    std::vector<std::uint32_t> cols;
+    cols.clear();
     for (const fault& f : faults.faults_in_row(row)) cols.push_back(f.col);
     total += scheme_->worst_case_row_cost(cols);
   }

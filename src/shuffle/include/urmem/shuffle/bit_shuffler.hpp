@@ -13,7 +13,9 @@
 // the paper's Fig. 4.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <span>
 
 #include "urmem/common/bitops.hpp"
 
@@ -23,6 +25,9 @@ namespace urmem {
 class bit_shuffler {
  public:
   /// `width` must be a power of two (8..64); `n_fm` in [1, log2(width)].
+  /// Precomputes the per-xFM shift table (Eq. 2 for every LUT value), so
+  /// the hot apply/restore paths are pure arithmetic; all contracts are
+  /// checked here, on the table-build path.
   bit_shuffler(unsigned width, unsigned n_fm);
 
   [[nodiscard]] unsigned width() const { return width_; }
@@ -36,8 +41,17 @@ class bit_shuffler {
   /// Segment size S = W / 2^nFM (Eq. 1).
   [[nodiscard]] unsigned segment_size() const { return width_ >> n_fm_; }
 
-  /// Rotation amount T = S * (2^nFM - xfm) mod W (Eq. 2).
+  /// Rotation amount T = S * (2^nFM - xfm) mod W (Eq. 2), served from
+  /// the precomputed table.
   [[nodiscard]] unsigned shift_amount(unsigned xfm) const;
+
+  /// The full per-xFM shift table (segment_count() entries). Batched
+  /// codec loops index it directly — entries sourced from an fm_lut are
+  /// range-checked at fm_lut::set time, so the hot loop carries no
+  /// per-word contract.
+  [[nodiscard]] std::span<const std::uint8_t> shift_table() const {
+    return {shifts_.data(), segment_count()};
+  }
 
   /// Segment index containing bit column `col`.
   [[nodiscard]] unsigned segment_of(unsigned col) const;
@@ -59,6 +73,7 @@ class bit_shuffler {
  private:
   unsigned width_;
   unsigned n_fm_;
+  std::array<std::uint8_t, 64> shifts_{};  // shift_amount per xFM value
 };
 
 }  // namespace urmem

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "urmem/common/bitops.hpp"
@@ -30,6 +31,13 @@ class fm_lut {
 
   /// xFM value of `row`.
   [[nodiscard]] unsigned get(std::uint32_t row) const;
+
+  /// All entries as a contiguous span (one xFM per row). Every entry is
+  /// < 2^nFM — enforced at set() — so batched codec loops can index
+  /// shift tables with them without per-word checks.
+  [[nodiscard]] std::span<const std::uint8_t> entries() const {
+    return entries_;
+  }
 
   /// Sets the xFM value of `row`; must fit in n_fm bits.
   void set(std::uint32_t row, unsigned xfm);

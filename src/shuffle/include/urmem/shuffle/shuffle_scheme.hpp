@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "urmem/memory/fault_map.hpp"
 #include "urmem/shuffle/bit_shuffler.hpp"
@@ -46,6 +47,19 @@ class shuffle_scheme {
   [[nodiscard]] word_t restore_read(std::uint32_t row, word_t stored) const {
     return shuffler_.restore(stored, lut_.get(row));
   }
+
+  /// Batched write path over rows [first, first + data.size()):
+  /// out[i] = apply_write(first + i, data[i]). Pure arithmetic over the
+  /// precomputed shift table and the raw LUT entries (both range-safe
+  /// by construction); `out` may alias `data`. Spans are length-checked
+  /// once per call.
+  void apply_write_block(std::uint32_t first, std::span<const word_t> data,
+                         std::span<word_t> out) const;
+
+  /// Batched read path: out[i] = restore_read(first + i, stored[i]);
+  /// `out` may alias `stored`.
+  void restore_read_block(std::uint32_t first, std::span<const word_t> stored,
+                          std::span<word_t> out) const;
 
   /// Logical data-bit position corrupted by a fault at physical column
   /// `col` of `row` under the current LUT programming.

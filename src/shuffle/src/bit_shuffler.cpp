@@ -12,11 +12,15 @@ bit_shuffler::bit_shuffler(unsigned width, unsigned n_fm)
           "shuffle word width must be a power of two in [2, 64]");
   expects(n_fm >= 1 && n_fm <= log2_exact(width),
           "n_fm must be in [1, log2(width)]");
+  for (unsigned xfm = 0; xfm < segment_count(); ++xfm) {
+    shifts_[xfm] = static_cast<std::uint8_t>(
+        (segment_size() * (segment_count() - xfm)) % width_);
+  }
 }
 
 unsigned bit_shuffler::shift_amount(unsigned xfm) const {
   expects(xfm < segment_count(), "xFM exceeds the LUT entry range");
-  return (segment_size() * (segment_count() - xfm)) % width_;
+  return shifts_[xfm];
 }
 
 unsigned bit_shuffler::segment_of(unsigned col) const {

@@ -10,6 +10,32 @@ shuffle_scheme::shuffle_scheme(std::uint32_t rows, unsigned width, unsigned n_fm
                                shift_policy policy)
     : shuffler_(width, n_fm), lut_(rows, n_fm), policy_(policy) {}
 
+void shuffle_scheme::apply_write_block(std::uint32_t first,
+                                       std::span<const word_t> data,
+                                       std::span<word_t> out) const {
+  expects(out.size() == data.size(), "output span must match the input");
+  expects(first + data.size() <= lut_.rows(), "block exceeds the LUT rows");
+  const std::span<const std::uint8_t> shifts = shuffler_.shift_table();
+  const std::uint8_t* entries = lut_.entries().data() + first;
+  const unsigned width = shuffler_.width();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = rotate_right(data[i], shifts[entries[i]], width);
+  }
+}
+
+void shuffle_scheme::restore_read_block(std::uint32_t first,
+                                        std::span<const word_t> stored,
+                                        std::span<word_t> out) const {
+  expects(out.size() == stored.size(), "output span must match the input");
+  expects(first + stored.size() <= lut_.rows(), "block exceeds the LUT rows");
+  const std::span<const std::uint8_t> shifts = shuffler_.shift_table();
+  const std::uint8_t* entries = lut_.entries().data() + first;
+  const unsigned width = shuffler_.width();
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    out[i] = rotate_left(stored[i], shifts[entries[i]], width);
+  }
+}
+
 void shuffle_scheme::program(const fault_map& faults) {
   expects(faults.geometry().rows == lut_.rows(),
           "fault map row count must match the LUT");

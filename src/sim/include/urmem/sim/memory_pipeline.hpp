@@ -37,6 +37,7 @@ struct storage_config {
 struct pipeline_stats {
   std::size_t tiles = 0;
   std::uint64_t injected_faults = 0;
+  std::uint64_t corrected_words = 0;      ///< decoder corrected a single error
   std::uint64_t uncorrectable_words = 0;  ///< decoder flagged detected_uncorrectable
 };
 

@@ -32,12 +32,14 @@ matrix store_and_readback(const matrix& input, const storage_config& config,
     local.injected_faults += faults.fault_count();
     memory.set_fault_map(std::move(faults));
 
-    // Stream the whole tile through the batched fault-plane path: one
-    // row op per direction instead of per-word array calls.
+    // Stream the whole tile through the batched block-codec +
+    // fault-plane path: one scheme call and one row op per direction
+    // instead of per-word virtual calls.
     memory.write_block(0, std::span<const word_t>(words).subspan(cursor, tile_words));
     protected_memory::block_stats block;
     memory.read_block(0, std::span<word_t>(restored).subspan(cursor, tile_words),
                       &block);
+    local.corrected_words += block.corrected;
     local.uncorrectable_words += block.uncorrectable;
     ++local.tiles;
     cursor += tile_words;

@@ -97,6 +97,73 @@ TEST_P(SecdedSingleError, AllDoubleErrorsDetectedNotMiscorrected) {
 INSTANTIATE_TEST_SUITE_P(CodeSizes, SecdedSingleError,
                          ::testing::Values(8u, 16u, 32u, 57u));
 
+/// The compiled LUT paths must match the per-bit reference walks they
+/// were derived from — encode, extract and decode (data AND status),
+/// over clean codewords, error patterns and arbitrary garbage.
+class SecdedLutVsReference : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SecdedLutVsReference, EncodeAndExtractMatchReference) {
+  const hamming_secded code(GetParam());
+  const bool exhaustive = code.data_bits() <= 16;
+  const std::uint64_t samples =
+      exhaustive ? (word_t{1} << code.data_bits()) : 5000;
+  rng gen(GetParam() * 7 + 1);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const word_t data = exhaustive ? i : (gen() & word_mask(code.data_bits()));
+    const word_t cw = code.encode(data);
+    ASSERT_EQ(cw, code.encode_reference(data)) << "data=" << data;
+    ASSERT_EQ(code.extract_data(cw), code.extract_data_reference(cw));
+    ASSERT_EQ(code.extract_data(cw), data);
+  }
+}
+
+TEST_P(SecdedLutVsReference, DecodeMatchesReferenceOnAllErrorPatterns) {
+  const hamming_secded code(GetParam());
+  rng gen(GetParam() * 13 + 5);
+  for (int trial = 0; trial < 4; ++trial) {
+    const word_t cw = code.encode(gen() & word_mask(code.data_bits()));
+    for (unsigned a = 0; a < code.codeword_bits(); ++a) {
+      for (unsigned b = a; b < code.codeword_bits(); ++b) {
+        // a == b degenerates to a single flip; otherwise a double.
+        const word_t corrupted = flip_bit(cw, a) ^ (a == b ? 0 : flip_bit(word_t{0}, b));
+        const ecc_decode_result fast = code.decode(corrupted);
+        const ecc_decode_result ref = code.decode_reference(corrupted);
+        ASSERT_EQ(fast.data, ref.data) << "a=" << a << " b=" << b;
+        ASSERT_EQ(fast.status, ref.status) << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST_P(SecdedLutVsReference, DecodeMatchesReferenceOnGarbageWords) {
+  const hamming_secded code(GetParam());
+  rng gen(GetParam() * 17 + 3);
+  for (int i = 0; i < 5000; ++i) {
+    const word_t garbage = gen() & word_mask(code.codeword_bits());
+    const ecc_decode_result fast = code.decode(garbage);
+    const ecc_decode_result ref = code.decode_reference(garbage);
+    ASSERT_EQ(fast.data, ref.data) << "word=" << garbage;
+    ASSERT_EQ(fast.status, ref.status) << "word=" << garbage;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CodeSizes, SecdedLutVsReference,
+                         ::testing::Values(1u, 8u, 16u, 32u, 57u));
+
+TEST(PriorityEccTest, CompiledMatchesReference) {
+  const priority_ecc pecc;
+  rng gen(23);
+  for (int i = 0; i < 2000; ++i) {
+    const word_t data = gen() & word_mask(32);
+    ASSERT_EQ(pecc.encode(data), pecc.encode_reference(data));
+    const word_t garbage = gen() & word_mask(pecc.storage_bits());
+    const ecc_decode_result fast = pecc.decode(garbage);
+    const ecc_decode_result ref = pecc.decode_reference(garbage);
+    ASSERT_EQ(fast.data, ref.data);
+    ASSERT_EQ(fast.status, ref.status);
+  }
+}
+
 TEST(HammingTest, OverallParityBitErrorKeepsDataIntact) {
   const hamming_secded code(32);
   const word_t data = 0xCAFEBABEULL & word_mask(32);
