@@ -6,13 +6,16 @@
 // against the naive first-fault policy (align the LSB segment with the
 // most significant fault) as the fault density grows.
 //
+// Thin wrapper over the `multifault-policy` scenario workload (stdout
+// byte-identical to the pre-API binary at fixed seeds):
+//   urmem-run workload=multifault-policy seed=11
+//
 // Flags: --runs=N (default 200000), --seed=S
 #include <iostream>
+#include <string>
 
 #include "bench_util.hpp"
-#include "urmem/common/table.hpp"
-#include "urmem/scheme/protection_scheme.hpp"
-#include "urmem/yield/mse_distribution.hpp"
+#include "urmem/scenario/scenario_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace urmem;
@@ -20,27 +23,16 @@ int main(int argc, char** argv) {
   bench::banner("Ablation — multi-fault FM-LUT programming policy",
                 "DESIGN.md §2 (multi-fault extension of Sec. 3)");
 
-  mse_cdf_config config;
-  config.total_runs = args.get_u64("runs", 200'000);
-  config.seed = args.get_u64("seed", 11);
-  config.n_max = 400;
+  scenario_spec spec;
+  spec.name = "multifault-policy-ablation";
+  spec.seeds.root = args.get_u64("seed", 11);
+  spec.workload.name = "multifault-policy";
+  spec.workload.options = option_map("workload");
+  spec.workload.options.set("runs",
+                            std::to_string(args.get_u64("runs", 200'000)));
 
-  console_table table({"Pcell", "nFM", "policy", "MSE @ yield 90%",
-                       "MSE @ yield 99%"});
-  for (const double pcell : {5e-6, 1e-4, 1e-3}) {
-    for (const unsigned n_fm : {2u, 5u}) {
-      for (const shift_policy policy :
-           {shift_policy::min_mse, shift_policy::first_fault}) {
-        const auto scheme = make_scheme_shuffle(4096, 32, n_fm, policy);
-        const empirical_cdf cdf = compute_mse_cdf(*scheme, 4096, pcell, config);
-        table.add_row({format_scientific(pcell, 1), std::to_string(n_fm),
-                       policy == shift_policy::min_mse ? "min-MSE" : "first-fault",
-                       format_scientific(mse_for_yield(cdf, 0.90), 3),
-                       format_scientific(mse_for_yield(cdf, 0.99), 3)});
-      }
-    }
-  }
-  table.print(std::cout);
+  const scenario_runner runner(spec);
+  (void)runner.run(std::cout);
 
   std::cout << "\nConclusion: at the paper's Fig. 5 operating point multi-fault "
                "rows are rare and the policies tie; at Fig. 7 fault densities "

@@ -7,13 +7,17 @@
 // compares to the SECDED / bit-shuffling alternatives at the same
 // operating point.
 //
+// Thin wrapper over the `redundancy-yield` scenario workload:
+//   urmem-run workload=redundancy-yield workload.runs=400 seed=3
+// (Spare-row repair is also available as the `redundancy` *scheme* for
+// the functional workloads, e.g. schemes=redundancy:spares=32.)
+//
 // Flags: --runs=N (MC arrays per candidate, default 400), --seed=S
 #include <iostream>
+#include <string>
 
 #include "bench_util.hpp"
-#include "urmem/common/table.hpp"
-#include "urmem/hwmodel/overhead_model.hpp"
-#include "urmem/scheme/row_redundancy.hpp"
+#include "urmem/scenario/scenario_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace urmem;
@@ -21,44 +25,15 @@ int main(int argc, char** argv) {
   bench::banner("Ablation — spare-row redundancy vs ECC vs bit-shuffling",
                 "Ganapathy et al., DAC'15, Sec. 2 (redundancy economics)");
 
-  const auto mc_runs = static_cast<std::uint32_t>(args.get_u64("runs", 400));
-  rng gen(args.get_u64("seed", 3));
-  const std::uint32_t rows = 4096;
-  const std::uint32_t width = 32;
+  scenario_spec spec;
+  spec.name = "redundancy-ablation";
+  spec.seeds.root = args.get_u64("seed", 3);
+  spec.workload.name = "redundancy-yield";
+  spec.workload.options = option_map("workload");
+  spec.workload.options.set("runs", std::to_string(args.get_u64("runs", 400)));
 
-  const sram_macro_model sram = sram_macro_model::fdsoi_28nm();
-  const overhead_model model(gate_library::fdsoi_28nm(), sram,
-                             array_geometry{rows, width});
-  const double ecc_area = model.secded(hamming_secded(32)).area_um2;
-  const double nfm1_area = model.shuffle(1).area_um2;
-  const double row_area = width * sram.cell_area_um2 / sram.array_efficiency;
-
-  std::cout << "16KB array (4096 x 32), repair yield target 99%, " << mc_runs
-            << " MC arrays per spare-count candidate.\n"
-            << "Reference area overheads: H(39,32) ECC = "
-            << format_double(ecc_area, 4) << " um^2, nFM=1 shuffle = "
-            << format_double(nfm1_area, 4) << " um^2.\n\n";
-
-  console_table table({"Pcell", "E[faulty rows]", "spares for 99% yield",
-                       "area overhead [um^2]", "vs ECC", "vs nFM=1 shuffle"});
-  for (const double pcell : {1e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3}) {
-    const double row_fail =
-        1.0 - std::pow(1.0 - pcell, static_cast<double>(width));
-    const double expected_faulty = row_fail * rows;
-    const auto spares =
-        spares_for_yield(rows, width, pcell, 0.99, 4096, mc_runs, gen);
-    if (!spares.has_value()) {
-      table.add_row({format_scientific(pcell, 1), format_double(expected_faulty, 3),
-                     "> 4096 (infeasible)", "-", "-", "-"});
-      continue;
-    }
-    const double area = *spares * row_area;
-    table.add_row({format_scientific(pcell, 1), format_double(expected_faulty, 3),
-                   std::to_string(*spares), format_double(area, 4),
-                   format_double(area / ecc_area, 3) + "x",
-                   format_double(area / nfm1_area, 3) + "x"});
-  }
-  table.print(std::cout);
+  const scenario_runner runner(spec);
+  (void)runner.run(std::cout);
 
   std::cout << "\nConclusion: spare rows are economical while failures are "
                "countable, but the required count tracks E[faulty rows] ~ "

@@ -49,6 +49,13 @@ class arg_parser {
     return value.empty() ? fallback : std::strtod(value.c_str(), nullptr);
   }
 
+  /// Value of `--name=...` verbatim, or `fallback` when absent.
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string_view fallback) const {
+    const std::string value = raw(name);
+    return value.empty() ? std::string(fallback) : value;
+  }
+
   /// True when `--name` (with or without value) is present.
   [[nodiscard]] bool has(std::string_view name) const {
     const std::string plain = "--" + std::string(name);

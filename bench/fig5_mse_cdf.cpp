@@ -3,6 +3,12 @@
 // nFM = 1..5, and the H(22,16) P-ECC — the stratified Monte-Carlo sweep
 // of Sec. 4 with samples per failure count = Pr(N = n) * Trun.
 //
+// Thin wrapper over the declarative scenario API: the flags below just
+// assemble a scenario_spec for the `fig5-mse` workload (stdout is
+// byte-identical to the pre-API hand-wired binary at fixed seeds), so
+// `urmem-run workload=fig5-mse schemes=none,shuffle:nfm=1,...,pecc
+// pcell=5e-6` reproduces this bench exactly.
+//
 // Flags:
 //   --runs=N    total Monte-Carlo runs Trun   (default 1e7, the paper value)
 //   --pcell=P   cell failure probability      (default 5e-6)
@@ -16,59 +22,12 @@
 // The Monte-Carlo path shards the stratified sweep over the parallel
 // campaign engine; for a fixed seed the CDFs are bit-identical at any
 // --threads.
-#include <algorithm>
 #include <chrono>
 #include <iostream>
-#include <memory>
-#include <optional>
-#include <vector>
+#include <string>
 
 #include "bench_util.hpp"
-#include "urmem/common/binomial.hpp"
-#include "urmem/common/table.hpp"
-#include "urmem/scheme/protection_scheme.hpp"
-#include "urmem/sim/campaign_runner.hpp"
-#include "urmem/yield/analytic.hpp"
-#include "urmem/yield/mse_distribution.hpp"
-
-namespace {
-
-// Stratified Fig. 5 sweep of one scheme as a fault-injection campaign:
-// trial i belongs to the stratum covering i in the flattened per-stratum
-// sample allocation, and every trial draws its own fault map on its own
-// deterministic stream.
-urmem::empirical_cdf campaign_mse_cdf(urmem::campaign_runner& runner,
-                                      const urmem::protection_scheme& scheme,
-                                      std::uint32_t rows, double pcell,
-                                      const urmem::mse_cdf_config& config) {
-  using namespace urmem;
-  const array_geometry geometry{rows, scheme.storage_bits()};
-  std::vector<mse_stratum> strata = mse_strata(geometry, pcell, config);
-  if (config.include_fault_free) {
-    // Same Pr(N = 0) mass at MSE 0 that compute_mse_cdf prepends; an
-    // n = 0 trial draws no cells and costs 0 without touching its rng.
-    const binomial_distribution dist(geometry.cells(), pcell);
-    strata.insert(strata.begin(), {0, 1, dist.pmf(0)});
-  }
-
-  std::vector<std::uint64_t> starts;  // first trial index of each stratum
-  starts.reserve(strata.size());
-  std::uint64_t trials = 0;
-  for (const mse_stratum& s : strata) {
-    starts.push_back(trials);
-    trials += s.count;
-  }
-
-  return runner.map_weighted(
-      trials, [&](std::uint64_t trial, rng& gen) -> weighted_sample {
-        const auto it = std::upper_bound(starts.begin(), starts.end(), trial);
-        const mse_stratum& s = strata[static_cast<std::size_t>(
-            std::distance(starts.begin(), it) - 1)];
-        return {sample_mse(scheme, geometry, s.n, gen), s.weight_each};
-      });
-}
-
-}  // namespace
+#include "urmem/scenario/scenario_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace urmem;
@@ -76,54 +35,35 @@ int main(int argc, char** argv) {
   bench::banner("Fig. 5 — CDF of memory MSE under fault injection",
                 "Ganapathy et al., DAC'15, Fig. 5 / Sec. 4");
 
-  mse_cdf_config config;
-  config.total_runs = args.get_u64("runs", 10'000'000);
-  config.n_max = args.get_u64("nmax", 150);
-  config.seed = args.get_u64("seed", 42);
-  const double pcell = args.get_double("pcell", 5e-6);
-  const std::uint32_t rows = 4096;
+  scenario_spec spec;
+  spec.name = "fig5-mse-cdf";
+  spec.fault.pcell = args.get_double("pcell", 5e-6);
+  spec.seeds.root = args.get_u64("seed", 42);
+  spec.run.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  spec.run.batch = args.get_u64("batch", 0);
 
-  std::cout << "16KB memory (4096 x 32), Pcell = " << format_scientific(pcell, 2)
-            << ", Trun = " << config.total_runs
-            << ", failure counts 1.." << config.n_max
-            << " (CDF conditional on N >= 1, per Eq. 5)\n\n";
-
-  std::vector<std::unique_ptr<protection_scheme>> schemes;
-  schemes.push_back(make_scheme_none());
+  // The paper's Fig. 5 comparison set, by registry name.
+  spec.schemes.push_back({"none", option_map("schemes[0]")});
   for (unsigned n_fm = 1; n_fm <= 5; ++n_fm) {
-    schemes.push_back(make_scheme_shuffle(rows, 32, n_fm));
+    scheme_ref shuffle{"shuffle",
+                       option_map("schemes[" + std::to_string(n_fm) + "]")};
+    shuffle.options.set("nfm", std::to_string(n_fm));
+    spec.schemes.push_back(std::move(shuffle));
   }
-  schemes.push_back(make_scheme_pecc());
+  spec.schemes.push_back({"pecc", option_map("schemes[6]")});
 
+  const std::uint64_t runs = args.get_u64("runs", 10'000'000);
+  const std::uint64_t nmax = args.get_u64("nmax", 150);
+  spec.workload.name = "fig5-mse";
+  spec.workload.options = option_map("workload");
+  spec.workload.options.set("runs", std::to_string(runs));
+  spec.workload.options.set("nmax", std::to_string(nmax));
   const bool analytic = args.has("analytic");
-  std::optional<campaign_runner> runner;
-  if (!analytic) {
-    runner.emplace(campaign_config{
-        .threads = static_cast<unsigned>(args.get_u64("threads", 0)),
-        .batch_size = args.get_u64("batch", 0),
-        .seed = config.seed});
-    // Scheduling diagnostics go to stderr: stdout stays byte-identical
-    // across --threads values.
-    std::cerr << "campaign threads = " << runner->threads() << "\n";
-  }
+  if (analytic) spec.workload.options.set("analytic", "true");
+
+  const scenario_runner runner(spec);
   const auto sweep_start = std::chrono::steady_clock::now();
-  std::uint64_t total_trials = 0;
-  std::vector<empirical_cdf> cdfs;
-  for (const auto& scheme : schemes) {
-    if (analytic) {
-      std::cerr << "  convolving " << scheme->name() << "...\n";
-      analytic_cdf_config acfg;
-      acfg.n_max = std::min<std::uint64_t>(config.n_max, 40);
-      cdfs.push_back(analytic_mse_cdf(*scheme, rows, pcell, acfg));
-    } else {
-      std::cerr << "  sampling " << scheme->name() << "...\n";
-      cdfs.push_back(campaign_mse_cdf(*runner, *scheme, rows, pcell, config));
-      const campaign_stats stats = runner->last_stats();
-      total_trials += stats.trials;
-      std::cerr << "    " << stats.trials << " trials in " << stats.batches
-                << " batches (" << stats.steals << " steals)\n";
-    }
-  }
+  const scenario_report report = runner.run(std::cout);
   const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - sweep_start);
   std::cerr << "  sweep wall time: " << elapsed.count() << " ms\n";
@@ -134,62 +74,25 @@ int main(int argc, char** argv) {
     const double wall_ms = static_cast<double>(elapsed.count());
     bench::json_object payload = bench::bench_envelope("fig5_mse_cdf");
     bench::json_object jconfig;
-    jconfig.add("runs", config.total_runs)
-        .add("n_max", config.n_max)
-        .add("pcell", pcell)
-        .add("seed", config.seed)
-        .add("rows", std::uint64_t{rows})
-        .add("schemes", static_cast<std::uint64_t>(schemes.size()))
-        .add("threads",
-             analytic ? std::uint64_t{0} : std::uint64_t{runner->threads()})
+    jconfig.add("runs", runs)
+        .add("n_max", nmax)
+        .add("pcell", spec.fault.pcell)
+        .add("seed", spec.seeds.root)
+        .add("rows", std::uint64_t{spec.geometry.rows_per_tile})
+        .add("schemes", static_cast<std::uint64_t>(spec.schemes.size()))
+        // Ground truth from the campaign layer (0 on the analytic path,
+        // which never spawns a pool — same semantics as the legacy
+        // binary's reporting).
+        .add("threads", std::uint64_t{report.campaign_threads})
         .add("analytic", analytic);
     payload.add_raw("config", jconfig.str());
     payload.add("wall_ms", wall_ms);
-    payload.add("trials", total_trials);
+    payload.add("trials", report.total_trials);
     payload.add("trials_per_sec",
-                wall_ms > 0.0 ? static_cast<double>(total_trials) / wall_ms * 1e3
-                              : 0.0);
+                wall_ms > 0.0
+                    ? static_cast<double>(report.total_trials) / wall_ms * 1e3
+                    : 0.0);
     bench::write_bench_json("fig5_mse_cdf", payload);
   }
-
-  // The paper's x-axis: MSE from 1e-4 to 1e8.
-  std::vector<std::string> headers{"MSE <="};
-  for (const auto& scheme : schemes) headers.push_back(scheme->name());
-  console_table table(headers);
-  for (const double mse : logspace(1e-4, 1e8, 25)) {
-    std::vector<std::string> row{format_scientific(mse, 1)};
-    for (const auto& cdf : cdfs) row.push_back(format_double(cdf.at(mse), 4));
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
-
-  std::cout << "\nMSE budget required per yield target (quantiles):\n";
-  console_table quantiles({"scheme", "yield 50%", "yield 90%", "yield 99%",
-                           "yield 99.99%"});
-  for (std::size_t i = 0; i < schemes.size(); ++i) {
-    quantiles.add_row({schemes[i]->name(),
-                       format_scientific(mse_for_yield(cdfs[i], 0.50), 2),
-                       format_scientific(mse_for_yield(cdfs[i], 0.90), 2),
-                       format_scientific(mse_for_yield(cdfs[i], 0.99), 2),
-                       format_scientific(mse_for_yield(cdfs[i], 0.9999), 2)});
-  }
-  quantiles.print(std::cout);
-
-  std::cout << "\nPaper headline checks:\n";
-  console_table claims({"claim", "paper", "measured"});
-  const double reduction =
-      mse_for_yield(cdfs[0], 0.99) / mse_for_yield(cdfs[1], 0.99);
-  claims.add_row({"MSE reduction @ matched yield, nFM=1 vs none", ">= 30x",
-                  format_double(reduction, 3) + "x"});
-  claims.add_row({"yield @ MSE < 1e6, nFM=1", "99.9999%",
-                  format_percent(yield_at_mse(cdfs[1], 1e6), 4)});
-  claims.add_row({"yield @ MSE < 1e6, no correction", "<6%  (see EXPERIMENTS.md)",
-                  format_percent(yield_at_mse(cdfs[0], 1e6), 1)});
-  claims.add_row({"nFM=2..5 beat P-ECC @ yield 99%",
-                  "yes",
-                  mse_for_yield(cdfs[2], 0.99) < mse_for_yield(cdfs[6], 0.99)
-                      ? "yes"
-                      : "no"});
-  claims.print(std::cout);
   return 0;
 }

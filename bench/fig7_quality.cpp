@@ -3,6 +3,11 @@
 // i) no protection, ii) H(22,16) P-ECC, iii) bit-shuffling with nFM=1,
 // and iv) bit-shuffling with nFM=2.
 //
+// Thin wrapper over the declarative scenario API (`fig7-quality`
+// workload); stdout is byte-identical to the pre-API hand-wired binary
+// at fixed seeds. `urmem-run scenarios/fig7_smoke.json` runs the same
+// experiment from a checked-in spec file.
+//
 // The paper draws 500 Monte-Carlo fault maps per failure count
 // N = 1..Nmax (99% coverage). The default here is scaled down for a
 // laptop run; restore the paper's scale with --paper-scale.
@@ -21,100 +26,49 @@
 #include <chrono>
 #include <iostream>
 #include <string>
-#include <vector>
 
 #include "bench_util.hpp"
-#include "urmem/common/table.hpp"
-#include "urmem/sim/applications.hpp"
-#include "urmem/sim/campaign_runner.hpp"
-#include "urmem/sim/quality_experiment.hpp"
-
-namespace {
-
-using namespace urmem;
-
-struct scheme_spec {
-  std::string name;
-  scheme_factory factory;
-};
-
-std::vector<scheme_spec> fig7_schemes() {
-  return {
-      {"no-correction", [](std::uint32_t) { return make_scheme_none(); }},
-      {"H(22,16) P-ECC", [](std::uint32_t) { return make_scheme_pecc(); }},
-      {"nFM=1", [](std::uint32_t rows) { return make_scheme_shuffle(rows, 32, 1); }},
-      {"nFM=2", [](std::uint32_t rows) { return make_scheme_shuffle(rows, 32, 2); }},
-  };
-}
-
-}  // namespace
+#include "urmem/scenario/scenario_runner.hpp"
 
 int main(int argc, char** argv) {
+  using namespace urmem;
   const bench::arg_parser args(argc, argv);
   bench::banner("Fig. 7 — CDF of application quality under memory failures",
                 "Ganapathy et al., DAC'15, Fig. 7 / Sec. 5.2");
 
-  quality_experiment_config config;
-  config.pcell = args.get_double("pcell", 1e-3);
-  config.samples_per_count = static_cast<std::uint32_t>(
-      args.has("paper-scale") ? 500 : args.get_u64("samples", 10));
-  config.seed = args.get_u64("seed", 99);
+  scenario_spec spec;
+  spec.name = "fig7-quality";
+  spec.fault.pcell = args.get_double("pcell", 1e-3);
+  spec.seeds.root = args.get_u64("seed", 99);
+  spec.seeds.app = args.get_u64("app-seed", 7);
+  spec.run.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  spec.run.batch = args.get_u64("batch", 0);
 
-  // One shared campaign pool for the whole scheme x application grid.
-  campaign_runner runner(
-      {.threads = static_cast<unsigned>(args.get_u64("threads", 0)),
-       .batch_size = args.get_u64("batch", 0),
-       .seed = config.seed});
-
-  // Scheduling diagnostics go to stderr: stdout stays byte-identical
-  // across --threads values.
-  std::cerr << "campaign threads = " << runner.threads() << "\n";
-  std::cout << "16KB tiles, Pcell = " << format_scientific(config.pcell, 2)
-            << ", Nmax (99% coverage) = " << failure_count_limit(config)
-            << ", samples per failure count = " << config.samples_per_count
-            << "\n(H(39,32) ECC is the paper's error-free reference: samples "
-               "with >1 error per word are discarded there, normalized "
-               "metric = 1.0 by construction.)\n\n";
-
-  const auto sweep_start = std::chrono::steady_clock::now();
-  for (const auto& app : make_all_applications(args.get_u64("app-seed", 7))) {
-    std::cout << "--- " << app->name() << " (" << app->dataset_name()
-              << ", metric: " << app->metric_name() << ") ---\n";
-
-    std::vector<quality_result> results;
-    for (const auto& spec : fig7_schemes()) {
-      std::cerr << "  running " << app->name() << " / " << spec.name << "...\n";
-      results.push_back(
-          run_quality_experiment(*app, spec.factory, spec.name, config, runner));
-    }
-
-    std::cout << "clean (quantized) metric = "
-              << format_double(results.front().clean_metric, 4) << "\n\n";
-
-    // The paper's y-axis: CDF over the normalized metric grid.
-    std::vector<std::string> headers{"normalized metric <="};
-    for (const auto& r : results) headers.push_back(r.scheme_name);
-    console_table table(headers);
-    for (const double q : linspace(0.0, 1.0, 21)) {
-      std::vector<std::string> row{format_double(q, 3)};
-      for (const auto& r : results) row.push_back(format_double(r.cdf.at(q), 4));
-      table.add_row(std::move(row));
-    }
-    table.print(std::cout);
-
-    std::cout << "\nLow quantiles (quality floor) per scheme:\n";
-    console_table quantiles({"scheme", "q01", "q10", "q50"});
-    for (const auto& r : results) {
-      quantiles.add_row({r.scheme_name, format_double(r.cdf.quantile(0.01), 4),
-                         format_double(r.cdf.quantile(0.10), 4),
-                         format_double(r.cdf.quantile(0.50), 4)});
-    }
-    quantiles.print(std::cout);
-    std::cout << "\n";
+  // The paper's Fig. 7 comparison set, by registry name.
+  spec.schemes.push_back({"none", option_map("schemes[0]")});
+  spec.schemes.push_back({"pecc", option_map("schemes[1]")});
+  for (unsigned n_fm = 1; n_fm <= 2; ++n_fm) {
+    scheme_ref shuffle{"shuffle",
+                       option_map("schemes[" + std::to_string(1 + n_fm) + "]")};
+    shuffle.options.set("nfm", std::to_string(n_fm));
+    spec.schemes.push_back(std::move(shuffle));
   }
+
+  spec.workload.name = "fig7-quality";
+  spec.workload.options = option_map("workload");
+  spec.workload.options.set(
+      "samples", std::to_string(args.has("paper-scale")
+                                    ? 500
+                                    : args.get_u64("samples", 10)));
+  const std::string apps = args.get_string("apps", "");
+  if (!apps.empty()) spec.workload.options.set("apps", apps);
+
+  const scenario_runner runner(spec);
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const scenario_report report = runner.run(std::cout);
   const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - sweep_start);
-  std::cerr << "sweep wall time: " << elapsed.count() << " ms on "
-            << runner.threads() << " thread(s)\n";
+  std::cerr << "sweep wall time: " << elapsed.count() << " ms ("
+            << report.total_trials << " trials)\n";
   return 0;
 }

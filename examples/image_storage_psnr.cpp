@@ -4,62 +4,38 @@
 // order bits … can limit the quality loss in terms of PSNR in an H.264
 // video processing system, even under 30% voltage scaling").
 //
+// Thin wrapper over the `psnr-image` scenario workload — the same
+// experiment is one command away:
+//   urmem-run workload=psnr-image seed=33
+//       schemes=none,pecc,shuffle:nfm=1,shuffle:nfm=3,shuffle:nfm=5
+//
 // A synthetic natural-image frame is stored through each protection
 // scheme while the supply voltage scales; the table reports PSNR in dB
 // (>= ~35 dB is visually transparent, <= ~25 dB clearly degraded).
 #include <iostream>
 
-#include "urmem/common/table.hpp"
-#include "urmem/memory/cell_failure_model.hpp"
-#include "urmem/sim/applications.hpp"
-#include "urmem/sim/memory_pipeline.hpp"
+#include "urmem/scenario/scenario_runner.hpp"
 
 int main() {
   using namespace urmem;
-  const auto model = cell_failure_model::default_28nm();
-  const auto app = make_image_app();
-  const double clean_psnr = app->evaluate(
-      matrix_quantizer().roundtrip(app->train_features()));
 
-  std::cout << "Frame buffer: " << app->train_features().rows() << " x "
-            << app->train_features().cols()
-            << " image, Q15.16 words in 16KB tiles.\n"
-            << "Quantization-only PSNR (fault-free): "
-            << format_double(clean_psnr, 4) << " dB\n\n";
-
-  struct spec {
-    const char* name;
-    scheme_factory factory;
-  };
-  const spec schemes[] = {
-      {"no-correction", [](std::uint32_t) { return make_scheme_none(); }},
-      {"H(22,16) P-ECC", [](std::uint32_t) { return make_scheme_pecc(); }},
-      {"nFM=1", [](std::uint32_t rows) { return make_scheme_shuffle(rows, 32, 1); }},
-      {"nFM=3", [](std::uint32_t rows) { return make_scheme_shuffle(rows, 32, 3); }},
-      {"nFM=5", [](std::uint32_t rows) { return make_scheme_shuffle(rows, 32, 5); }},
-  };
-
-  console_table table({"VDD [V]", "Pcell", "PSNR none", "PSNR P-ECC",
-                       "PSNR nFM=1", "PSNR nFM=3", "PSNR nFM=5"});
-  for (const double vdd : {0.80, 0.73, 0.70, 0.66}) {
-    const double pcell = model.pcell(vdd);
-    std::vector<std::string> row{format_double(vdd, 3), format_scientific(pcell, 1)};
-    for (const spec& s : schemes) {
-      // Average PSNR over a few fault-map draws (identical per scheme).
-      rng gen(33);
-      double total = 0.0;
-      const int repeats = 4;
-      for (int i = 0; i < repeats; ++i) {
-        const matrix stored =
-            store_and_readback(app->train_features(), storage_config{}, s.factory,
-                               binomial_fault_injector(pcell), gen);
-        total += app->evaluate(stored);
-      }
-      row.push_back(format_double(total / repeats, 4) + " dB");
-    }
-    table.add_row(std::move(row));
+  scenario_spec spec;
+  spec.name = "image-storage-psnr";
+  spec.seeds.root = 33;
+  spec.schemes.push_back({"none", option_map("schemes[0]")});
+  spec.schemes.push_back({"pecc", option_map("schemes[1]")});
+  unsigned index = 2;
+  for (const unsigned n_fm : {1u, 3u, 5u}) {
+    scheme_ref shuffle{"shuffle",
+                       option_map("schemes[" + std::to_string(index++) + "]")};
+    shuffle.options.set("nfm", std::to_string(n_fm));
+    spec.schemes.push_back(std::move(shuffle));
   }
-  table.print(std::cout);
+  spec.workload.name = "psnr-image";
+  spec.workload.options = option_map("workload");
+
+  const scenario_runner runner(spec);
+  (void)runner.run(std::cout);
 
   std::cout << "\nThe unprotected frame develops salt-and-pepper outliers "
                "(sign/MSB flips) that drive PSNR below 0 dB once Pcell "

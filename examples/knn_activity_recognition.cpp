@@ -5,57 +5,37 @@
 // aggressively voltage-scaled SRAM. This example walks the full
 // pipeline once per protection scheme at the Fig. 7 operating point
 // (Pcell = 1e-3) and reports the classification score each one salvages.
+//
+// Thin wrapper over the `ml-quality` scenario workload — equivalently:
+//   urmem-run workload=ml-quality workload.app=knn pcell=1e-3 seed=7
+//       schemes=none,secded,pecc,shuffle:nfm=1,shuffle:nfm=2,shuffle:nfm=5
 #include <iostream>
 
-#include "urmem/common/table.hpp"
-#include "urmem/memory/cell_failure_model.hpp"
-#include "urmem/sim/applications.hpp"
-#include "urmem/sim/memory_pipeline.hpp"
+#include "urmem/scenario/scenario_runner.hpp"
 
 int main() {
   using namespace urmem;
-  const double pcell = 1e-3;
-  const auto model = cell_failure_model::default_28nm();
 
-  std::cout << "Activity recognition (KNN, k=5) with training windows stored "
-               "in a 16KB-tiled unreliable SRAM.\n"
-            << "Operating point: Pcell = 1e-3 (VDD ~ "
-            << format_double(model.vdd_for_pcell(pcell), 3)
-            << " V in the 28nm-class cell model).\n\n";
-
-  const auto app = make_knn_app();
-  const double clean = app->evaluate(app->train_features());
-  std::cout << "Fault-free score on the held-out windows: "
-            << format_double(clean, 4) << "\n\n";
-
-  struct scheme_row {
-    const char* name;
-    scheme_factory factory;
-  };
-  const scheme_row schemes[] = {
-      {"no-correction", [](std::uint32_t) { return make_scheme_none(); }},
-      {"H(39,32) ECC", [](std::uint32_t) { return make_scheme_secded(); }},
-      {"H(22,16) P-ECC", [](std::uint32_t) { return make_scheme_pecc(); }},
-      {"nFM=1", [](std::uint32_t rows) { return make_scheme_shuffle(rows, 32, 1); }},
-      {"nFM=2", [](std::uint32_t rows) { return make_scheme_shuffle(rows, 32, 2); }},
-      {"nFM=5", [](std::uint32_t rows) { return make_scheme_shuffle(rows, 32, 5); }},
-  };
-
-  console_table table({"scheme", "storage cols", "injected faults",
-                       "uncorrectable words", "score", "normalized"});
-  for (const auto& spec : schemes) {
-    rng gen(7);  // identical fault stream for every scheme
-    pipeline_stats stats;
-    const matrix stored =
-        store_and_readback(app->train_features(), storage_config{}, spec.factory,
-                           binomial_fault_injector(pcell), gen, &stats);
-    const double score = app->evaluate(stored);
-    table.add_row({spec.name, std::to_string(spec.factory(4096)->storage_bits()),
-                   std::to_string(stats.injected_faults),
-                   std::to_string(stats.uncorrectable_words),
-                   format_double(score, 4), format_double(score / clean, 4)});
+  scenario_spec spec;
+  spec.name = "knn-activity-recognition";
+  spec.fault.pcell = 1e-3;  // the Fig. 7 operating point
+  spec.seeds.root = 7;
+  spec.schemes.push_back({"none", option_map("schemes[0]")});
+  spec.schemes.push_back({"secded", option_map("schemes[1]")});
+  spec.schemes.push_back({"pecc", option_map("schemes[2]")});
+  unsigned index = 3;
+  for (const unsigned n_fm : {1u, 2u, 5u}) {
+    scheme_ref shuffle{"shuffle",
+                       option_map("schemes[" + std::to_string(index++) + "]")};
+    shuffle.options.set("nfm", std::to_string(n_fm));
+    spec.schemes.push_back(std::move(shuffle));
   }
-  table.print(std::cout);
+  spec.workload.name = "ml-quality";
+  spec.workload.options = option_map("workload");
+  spec.workload.options.set("app", "knn");
+
+  const scenario_runner runner(spec);
+  (void)runner.run(std::cout);
 
   std::cout << "\nKNN degrades gracefully even unprotected (corrupted "
                "training windows become far-away outliers that rarely win a "

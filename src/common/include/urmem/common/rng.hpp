@@ -18,6 +18,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 namespace urmem {
 
@@ -134,6 +135,30 @@ class rng {
 [[nodiscard]] constexpr rng make_stream_rng(std::uint64_t seed,
                                             std::uint64_t stream) {
   return rng(stream_seed(seed, stream));
+}
+
+/// Stable 64-bit stream id for a named substream (FNV-1a over the
+/// name). The single seed-derivation policy of the experiment stack:
+/// every auxiliary stream an experiment needs besides its numbered
+/// campaign trials (baseline evaluations, fault draws shared across a
+/// scheme comparison, BIST patterns, ...) derives as
+/// make_stream_rng(root, stream_tag("component.purpose")) instead of a
+/// per-binary magic constant. Trial indices stay numeric streams, so
+/// named streams never collide with campaign trials in practice and,
+/// more importantly, every binary derives them the same way.
+[[nodiscard]] constexpr std::uint64_t stream_tag(std::string_view name) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;  // FNV-1a prime
+  }
+  return hash;
+}
+
+/// Engine for the named substream `name` of root `seed`.
+[[nodiscard]] constexpr rng named_stream_rng(std::uint64_t seed,
+                                             std::string_view name) {
+  return make_stream_rng(seed, stream_tag(name));
 }
 
 /// Stateless counter-based generator: an independent uniform draw per

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "urmem/common/binomial.hpp"
 #include "urmem/common/rng.hpp"
@@ -22,6 +24,13 @@ enum class fault_polarity : std::uint8_t {
   mixed,         ///< realistic manufacturing mix: 35% SA0, 35% SA1,
                  ///< 10% flip, 10% TF-up, 10% TF-down
 };
+
+/// Spec-file name of a polarity ("flip", "random-stuck", "mixed").
+[[nodiscard]] std::string_view to_string(fault_polarity polarity);
+
+/// Inverse of to_string; nullopt for unknown names.
+[[nodiscard]] std::optional<fault_polarity> parse_fault_polarity(
+    std::string_view name);
 
 /// Draws a map with exactly `n` faults at distinct uniform cell positions.
 /// `n` must not exceed the number of cells.

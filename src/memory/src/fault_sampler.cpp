@@ -56,4 +56,20 @@ fault_map sample_fault_map_binomial(const array_geometry& geometry,
   return sample_fault_map_exact(geometry, n, gen, polarity);
 }
 
+std::string_view to_string(fault_polarity polarity) {
+  switch (polarity) {
+    case fault_polarity::flip: return "flip";
+    case fault_polarity::random_stuck: return "random-stuck";
+    case fault_polarity::mixed: return "mixed";
+  }
+  return "?";
+}
+
+std::optional<fault_polarity> parse_fault_polarity(std::string_view name) {
+  if (name == "flip") return fault_polarity::flip;
+  if (name == "random-stuck") return fault_polarity::random_stuck;
+  if (name == "mixed") return fault_polarity::mixed;
+  return std::nullopt;
+}
+
 }  // namespace urmem

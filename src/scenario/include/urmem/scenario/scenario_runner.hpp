@@ -1,0 +1,64 @@
+// scenario_runner: the execution engine of the declarative scenario
+// API. It expands a scenario_spec's sweep axes into their cartesian
+// grid, runs the named workload at every grid point on a campaign pool
+// seeded by the spec's seed policy, streams each point's human report
+// to an output stream, and reduces the per-point JSON aggregates into
+// one deterministic scenario report (what `urmem-run --out` writes and
+// CI diffs against goldens).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "urmem/common/json.hpp"
+#include "urmem/scenario/scenario_spec.hpp"
+#include "urmem/scenario/workload_registry.hpp"
+
+namespace urmem {
+
+/// One grid point's results.
+struct scenario_point_result {
+  std::string label;       ///< "pcell=0.001, nfm=2"; empty for the base point
+  json_value assignments;  ///< object of the axis values this point took
+  workload_output output;
+};
+
+/// All grid points of one scenario run.
+struct scenario_report {
+  json_value spec;  ///< normalized base spec (echoed for provenance)
+  std::vector<scenario_point_result> points;
+  std::uint64_t total_trials = 0;
+  /// Resolved campaign worker count; 0 when no workload spawned a pool
+  /// (analytic/fixture-only runs) — the ground truth bench telemetry
+  /// reports instead of re-deriving the resolution policy.
+  unsigned campaign_threads = 0;
+
+  /// Deterministic JSON form: {"name", "spec", "results": [...]}.
+  [[nodiscard]] json_value to_json() const;
+};
+
+/// Expands and executes one scenario.
+class scenario_runner {
+ public:
+  /// Validates the spec eagerly: the workload and every scheme resolve
+  /// (with their options) before any experiment runs, so spec typos
+  /// fail in milliseconds, not after a sweep.
+  explicit scenario_runner(scenario_spec spec);
+
+  [[nodiscard]] const scenario_spec& spec() const noexcept { return spec_; }
+
+  /// Number of grid points the sweep expands into.
+  [[nodiscard]] std::uint64_t grid_size() const noexcept;
+
+  /// Runs every grid point in order, streaming each point's text report
+  /// to `text_out` (single-point runs print the bare workload text, so
+  /// the legacy figure binaries stay byte-identical).
+  [[nodiscard]] scenario_report run(std::ostream& text_out) const;
+
+ private:
+  scenario_spec spec_;
+};
+
+}  // namespace urmem

@@ -1,0 +1,147 @@
+// The declarative scenario API (tentpole of the experiment stack).
+//
+// A scenario_spec is a plain-struct description of one experiment
+// family: memory geometry, fault model operating point, seed policy,
+// the protection schemes to compare (by registry name + options), the
+// workload to run them through (by registry name + options), sweep
+// axes, and run parameters. Specs round-trip through JSON
+// (to_json/from_json) with diagnostics that name the offending field
+// for unknown keys and out-of-range values, and accept dotted
+// `key=value` CLI overrides — the `urmem-run` driver and the thin
+// figure-bench wrappers are both just "build a spec, hand it to
+// scenario_runner".
+//
+// JSON schema (all sections optional; defaults shown):
+//
+//   {
+//     "name": "scenario",
+//     "geometry": {"rows_per_tile": 4096, "word_bits": 32, "frac_bits": 16},
+//     "fault":    {"pcell": 0, "vdd": 0, "polarity": "flip",
+//                  "vcrit_mean": 0.0, "vcrit_sigma": 0.0, "model_seed": 1},
+//     "seeds":    {"root": 42, "app": 7},
+//     "run":      {"threads": 0, "batch": 0},
+//     "schemes":  ["none", {"name": "shuffle", "nfm": 1}, "shuffle:nfm=2"],
+//     "workload": {"name": "fig7-quality", "samples": 10},
+//     "sweep":    [{"param": "fault.pcell", "values": [1e-4, 1e-3]}]
+//   }
+//
+// Scheme/workload entries take either the object form ({"name": ...,
+// <options>...}) or the compact string form "name:key=value:key=value"
+// that the CLI uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "urmem/common/json.hpp"
+#include "urmem/memory/cell_failure_model.hpp"
+#include "urmem/memory/fault_sampler.hpp"
+#include "urmem/scenario/options.hpp"
+#include "urmem/sim/memory_pipeline.hpp"
+
+namespace urmem {
+
+/// Tile geometry and fixed-point format of the unreliable store.
+struct geometry_spec {
+  std::uint32_t rows_per_tile = 4096;  ///< 16 KB of 32-bit words
+  unsigned word_bits = 32;
+  unsigned frac_bits = 16;  ///< Q15.16
+
+  /// Short human label, "16KB" for the default tile.
+  [[nodiscard]] std::string size_label() const;
+};
+
+/// Fault-model operating point. Exactly one of pcell/vdd is usually
+/// set; vdd derives Pcell through the critical-voltage model.
+struct fault_spec {
+  double pcell = 0.0;  ///< 0 = unset
+  double vdd = 0.0;    ///< 0 = unset (used when pcell is unset)
+  fault_polarity polarity = fault_polarity::flip;
+  double vcrit_mean = 0.0;   ///< 0 = cell model default
+  double vcrit_sigma = 0.0;  ///< 0 = cell model default
+  std::uint64_t model_seed = 1;
+};
+
+/// Seed policy: `root` seeds the campaign pool (trial i always runs on
+/// make_stream_rng(root, i)) and every auxiliary named stream; `app`
+/// seeds dataset synthesis so workload data is stable under root-seed
+/// sweeps.
+struct seed_spec {
+  std::uint64_t root = 42;
+  std::uint64_t app = 7;
+};
+
+/// Campaign scheduling parameters.
+struct run_spec {
+  unsigned threads = 0;     ///< 0 = all hardware threads
+  std::uint64_t batch = 0;  ///< 0 = auto
+};
+
+/// One protection scheme by registry name, with its options.
+struct scheme_ref {
+  std::string name;
+  option_map options;
+};
+
+/// The workload by registry name, with its options.
+struct workload_ref {
+  std::string name;
+  option_map options;
+};
+
+/// One sweep axis: the dotted spec path it overrides and the values it
+/// takes. Axes expand into their cartesian product, first axis
+/// outermost.
+struct sweep_axis {
+  std::string param;               ///< e.g. "fault.pcell", "workload.samples"
+  std::vector<json_value> values;  ///< scalar per grid step
+};
+
+/// Declarative description of one experiment family.
+struct scenario_spec {
+  std::string name = "scenario";
+  geometry_spec geometry;
+  fault_spec fault;
+  seed_spec seeds;
+  run_spec run;
+  std::vector<scheme_ref> schemes;
+  workload_ref workload;
+  std::vector<sweep_axis> sweep;
+
+  /// Parses a spec document; throws spec_error naming the offending
+  /// field on unknown keys and out-of-range values.
+  [[nodiscard]] static scenario_spec from_json(const json_value& doc);
+
+  /// Parses JSON text (convenience over json_value::parse + from_json).
+  /// Callers that need to apply CLI overrides first (urmem-run) parse
+  /// the json_value themselves and call from_json after overriding.
+  [[nodiscard]] static scenario_spec parse_text(std::string_view text);
+
+  /// Normalized JSON form; from_json(to_json()) is the identity.
+  [[nodiscard]] json_value to_json() const;
+
+  /// Critical-voltage cell model at this spec's calibration.
+  [[nodiscard]] cell_failure_model failure_model() const;
+
+  /// Cell failure probability: fault.pcell, or derived from fault.vdd;
+  /// throws spec_error("fault.pcell") naming `consumer` when neither is
+  /// set.
+  [[nodiscard]] double resolved_pcell(std::string_view consumer) const;
+
+  /// storage_config matching the geometry (plus optional spare rows).
+  [[nodiscard]] storage_config storage(std::uint32_t spare_rows = 0) const;
+};
+
+/// Applies one dotted `key=value` CLI override onto a spec JSON
+/// document. Top-level aliases: seed -> seeds.root, threads ->
+/// run.threads, batch -> run.batch, pcell -> fault.pcell, vdd ->
+/// fault.vdd, polarity -> fault.polarity, workload -> the workload
+/// entry (compact form), schemes -> the scheme list (comma-separated
+/// compact forms). `sweep.<path>=v1,v2,...` replaces-or-appends the
+/// axis for `<path>`.
+void apply_spec_override(json_value& doc, std::string_view key,
+                         std::string_view value);
+
+}  // namespace urmem

@@ -1,0 +1,97 @@
+// String-keyed registry of protection-scheme recipes.
+//
+// Every scheme a scenario can name — the paper's comparison set plus
+// the stacked compositions and spare-row redundancy — registers here
+// under a stable name. A recipe resolves (name, options, geometry) into
+// a per-tile scheme_factory plus the tile-level parameters the factory
+// alone cannot express (spare rows). Workloads instantiate schemes
+// only through this registry, so adding a new protection technique is
+// one registration away from every workload and sweep axis.
+//
+// Registration is explicit and fails loudly: registering a name twice
+// throws, and resolving an unknown name raises a spec_error that lists
+// the known names. Built-ins are registered on first use of
+// instance(); out-of-module code extends the registry with a
+// scheme_registration object in a TU its binary links.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "urmem/scenario/options.hpp"
+#include "urmem/scenario/scenario_spec.hpp"
+#include "urmem/sim/memory_pipeline.hpp"
+
+namespace urmem {
+
+/// Resolved scheme entry: how to build one tile's scheme instance plus
+/// the tile-level knobs that ride along.
+struct scheme_recipe {
+  std::string display_name;   ///< table/report label, e.g. "nFM=2"
+  scheme_factory factory;     ///< fresh instance per tile of `rows` rows
+  std::uint32_t spare_rows = 0;  ///< redundancy spares manufactured per tile
+};
+
+/// Registry of named scheme recipes.
+class scheme_registry {
+ public:
+  /// Builds a recipe from validated options; consumed-key checking and
+  /// the display name are handled by the registry.
+  using entry_factory =
+      std::function<scheme_recipe(const geometry_spec&, const option_map&)>;
+
+  struct entry_info {
+    std::string name;
+    std::string summary;
+    std::string options_help;  ///< e.g. "nfm=1 policy=min-mse"
+  };
+
+  /// The process-wide registry (built-ins registered on first call).
+  [[nodiscard]] static scheme_registry& instance();
+
+  /// Registers a recipe; throws std::invalid_argument when `name` is
+  /// already taken (duplicate registrations are always a bug).
+  void add(std::string name, std::string summary, std::string options_help,
+           entry_factory factory);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Resolves a spec entry; throws spec_error (naming the entry's spec
+  /// context and listing known names) for unknown schemes, and
+  /// spec_error for unknown or out-of-range options.
+  [[nodiscard]] scheme_recipe make(const scheme_ref& ref,
+                                   const geometry_spec& geometry) const;
+
+  /// All entries, sorted by name (stable for --list-schemes goldens).
+  [[nodiscard]] std::vector<entry_info> list() const;
+
+ private:
+  scheme_registry() = default;
+
+  struct entry {
+    entry_info info;
+    entry_factory factory;
+  };
+  std::vector<entry> entries_;
+};
+
+/// Validates the (word width, nFM) pair against bit_shuffler's
+/// contract — power-of-two width in [2, 64], nfm in [1, log2(width)] —
+/// throwing spec_error blaming `nfm_field` (or geometry.word_bits).
+/// Shared by the shuffle registry entries and every workload that
+/// builds its own shuffle fixture.
+void validate_shuffle_design(const geometry_spec& geometry, unsigned nfm,
+                             const std::string& nfm_field);
+
+/// RAII helper: `static scheme_registration reg{"myscheme", ...};` in a
+/// linked TU adds an out-of-module scheme before main runs.
+struct scheme_registration {
+  scheme_registration(std::string name, std::string summary,
+                      std::string options_help,
+                      scheme_registry::entry_factory factory);
+};
+
+}  // namespace urmem

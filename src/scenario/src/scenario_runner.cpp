@@ -1,0 +1,143 @@
+#include "urmem/scenario/scenario_runner.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+namespace urmem {
+
+namespace {
+
+/// Applies one grid combination onto a copy of the base document.
+json_value point_document(const json_value& base,
+                          const std::vector<sweep_axis>& axes,
+                          const std::vector<std::size_t>& combo) {
+  json_value doc = base;
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    try {
+      doc.set_path(axes[i].param, axes[i].values[combo[i]]);
+    } catch (const json_type_error& error) {
+      throw spec_error("sweep", "axis '" + axes[i].param +
+                                    "' does not address a settable field (" +
+                                    error.what() + ")");
+    }
+  }
+  return doc;
+}
+
+}  // namespace
+
+scenario_runner::scenario_runner(scenario_spec spec) : spec_(std::move(spec)) {
+  // Fail fast on unresolvable names/options: instantiate the workload
+  // and resolve every scheme once before any trial runs. (Workload
+  // construction also consumes its options, so unknown workload keys
+  // surface here too.)
+  (void)workload_registry::instance().make(spec_.workload);
+  (void)resolve_schemes(spec_);
+}
+
+std::uint64_t scenario_runner::grid_size() const noexcept {
+  std::uint64_t points = 1;
+  for (const sweep_axis& axis : spec_.sweep) points *= axis.values.size();
+  return points;
+}
+
+scenario_report scenario_runner::run(std::ostream& text_out) const {
+  // The base document carries everything but the sweep; each grid point
+  // re-parses its overridden copy so axis paths get exactly the same
+  // validation (and field-naming diagnostics) as hand-written specs.
+  json_value base = spec_.to_json();
+  if (base.find("sweep") != nullptr) {
+    auto& members = base.as_object();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i].first == "sweep") {
+        members.erase(members.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+
+  scenario_report report;
+  report.spec = spec_.to_json();
+
+  const std::vector<sweep_axis>& axes = spec_.sweep;
+  std::vector<std::size_t> combo(axes.size(), 0);
+  const bool multi_point = grid_size() > 1;
+  // unique_ptr rather than optional: GCC 12's -Wmaybe-uninitialized
+  // misfires on optional<campaign_pool> (it nests another optional).
+  std::unique_ptr<campaign_pool> pool;
+
+  while (true) {
+    const json_value doc = point_document(base, axes, combo);
+    const scenario_spec point_spec = scenario_spec::from_json(doc);
+
+    scenario_point_result point;
+    point.assignments = json_value::make_object();
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+      point.assignments.set(axes[i].param, axes[i].values[combo[i]]);
+      if (!point.label.empty()) point.label += ", ";
+      point.label += axes[i].param + "=" + axes[i].values[combo[i]].dump(0);
+    }
+
+    const std::unique_ptr<workload> job =
+        workload_registry::instance().make(point_spec.workload);
+    // One persistent (lazily-spawned) pool serves the whole grid; it is
+    // only rebuilt when a sweep axis changes the pool's own parameters
+    // (seed, threads, batch) — spawning threads per point would waste
+    // start-up on every grid step, and workloads that never map a trial
+    // never spawn it at all.
+    const campaign_config wanted{.threads = point_spec.run.threads,
+                                 .batch_size = point_spec.run.batch,
+                                 .seed = point_spec.seeds.root};
+    if (pool == nullptr || pool->config().threads != wanted.threads ||
+        pool->config().batch_size != wanted.batch_size ||
+        pool->config().seed != wanted.seed) {
+      pool = std::make_unique<campaign_pool>(wanted);
+    }
+    if (multi_point) std::cerr << "point: " << point.label << "\n";
+
+    point.output = job->run(point_spec, *pool);
+    report.total_trials += point.output.trials;
+    report.campaign_threads =
+        std::max(report.campaign_threads, pool->spawned_threads());
+
+    if (multi_point) text_out << "== " << point.label << " ==\n";
+    text_out << point.output.text;
+    if (multi_point) text_out << "\n";
+    text_out.flush();
+    report.points.push_back(std::move(point));
+
+    // Advance the mixed-radix grid counter (last axis fastest).
+    std::size_t axis = axes.size();
+    while (axis > 0) {
+      --axis;
+      if (++combo[axis] < axes[axis].values.size()) break;
+      combo[axis] = 0;
+      if (axis == 0) return report;
+    }
+    if (axes.empty()) return report;
+  }
+}
+
+json_value scenario_report::to_json() const {
+  json_value doc = json_value::make_object();
+  const json_value* name = spec.find("name");
+  doc.set("name", name != nullptr ? *name : json_value("scenario"));
+  doc.set("spec", spec);
+  doc.set("total_trials", total_trials);
+  json_value results = json_value::make_array();
+  for (const scenario_point_result& point : points) {
+    json_value entry = json_value::make_object();
+    if (!point.label.empty()) entry.set("point", point.label);
+    entry.set("assignments", point.assignments);
+    entry.set("trials", point.output.trials);
+    entry.set("data", point.output.json);
+    results.push_back(std::move(entry));
+  }
+  doc.set("results", std::move(results));
+  return doc;
+}
+
+}  // namespace urmem

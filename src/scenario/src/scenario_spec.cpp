@@ -1,0 +1,503 @@
+#include "urmem/scenario/scenario_spec.hpp"
+
+#include <utility>
+
+namespace urmem {
+
+namespace {
+
+/// Top-level shorthands for the most common flags — applied to override
+/// keys, spec-file sweep axis params, and CLI `sweep.<param>` overrides.
+std::string_view resolve_spec_alias(std::string_view key) {
+  if (key == "seed") return "seeds.root";
+  if (key == "threads") return "run.threads";
+  if (key == "batch") return "run.batch";
+  if (key == "pcell") return "fault.pcell";
+  if (key == "vdd") return "fault.vdd";
+  if (key == "polarity") return "fault.polarity";
+  if (key == "rows") return "geometry.rows_per_tile";
+  return key;
+}
+
+/// Canonical string form of a scalar spec value (what option_map stores).
+std::string scalar_to_string(const std::string& field, const json_value& value) {
+  switch (value.type()) {
+    case json_value::kind::string: return value.as_string();
+    case json_value::kind::number:
+    case json_value::kind::boolean: return value.dump(0);
+    default:
+      throw spec_error(field, "expected a scalar (string, number or boolean)");
+  }
+}
+
+/// "name:key=value:key=value" compact entry form -> (name, options).
+void parse_compact_entry(std::string_view text, const std::string& context,
+                         std::string& name, option_map& options) {
+  options = option_map(context);
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= text.size()) {
+    const std::size_t colon = text.find(':', start);
+    const std::string_view token = colon == std::string_view::npos
+                                       ? text.substr(start)
+                                       : text.substr(start, colon - start);
+    if (first) {
+      name = std::string(token);
+      first = false;
+    } else if (!token.empty()) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string_view::npos) {
+        throw spec_error(context, "expected key=value after ':', got \"" +
+                                      std::string(token) + "\"");
+      }
+      options.set(token.substr(0, eq), token.substr(eq + 1));
+    }
+    if (colon == std::string_view::npos) break;
+    start = colon + 1;
+  }
+  if (name.empty()) throw spec_error(context, "entry name must not be empty");
+}
+
+/// Scheme/workload entry: compact string or {"name": ..., <options>...}.
+void parse_entry(const json_value& value, const std::string& context,
+                 std::string& name, option_map& options) {
+  if (value.is_string()) {
+    parse_compact_entry(value.as_string(), context, name, options);
+    return;
+  }
+  if (!value.is_object()) {
+    throw spec_error(context, "expected a name string or an object");
+  }
+  options = option_map(context);
+  name.clear();
+  for (const auto& [key, member] : value.as_object()) {
+    if (key == "name") {
+      if (!member.is_string()) {
+        throw spec_error(context + ".name", "expected a string");
+      }
+      name = member.as_string();
+    } else {
+      options.set(key, scalar_to_string(context + "." + key, member));
+    }
+  }
+  if (name.empty()) {
+    throw spec_error(context + ".name", "entry needs a non-empty name");
+  }
+}
+
+/// Emits an option value in its natural JSON type (number / bool when
+/// the stored string parses as one, string otherwise).
+json_value option_value_to_json(const std::string& text) {
+  if (text == "true") return json_value(true);
+  if (text == "false") return json_value(false);
+  if (!text.empty()) {
+    try {
+      json_value scalar = json_value::parse(text);
+      if (scalar.is_number()) return scalar;
+    } catch (const json_parse_error&) {
+      // fall through to string
+    }
+  }
+  return json_value(text);
+}
+
+json_value entry_to_json(const std::string& name, const option_map& options) {
+  json_value entry = json_value::make_object();
+  entry.set("name", name);
+  for (const auto& [key, value] : options.entries()) {
+    entry.set(key, option_value_to_json(value));
+  }
+  return entry;
+}
+
+double get_number(const json_value& value, const std::string& field) {
+  if (!value.is_number()) throw spec_error(field, "expected a number");
+  return value.as_double();
+}
+
+std::uint64_t get_u64_checked(const json_value& value, const std::string& field) {
+  try {
+    return value.as_u64();
+  } catch (const json_type_error& error) {
+    throw spec_error(field, error.what());
+  }
+}
+
+const std::string& get_string_checked(const json_value& value,
+                                      const std::string& field) {
+  if (!value.is_string()) throw spec_error(field, "expected a string");
+  return value.as_string();
+}
+
+const json_value& get_object_checked(const json_value& value,
+                                     const std::string& field) {
+  if (!value.is_object()) throw spec_error(field, "expected an object");
+  return value;
+}
+
+unsigned get_bounded_unsigned(const json_value& value, const std::string& field,
+                              std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t v = get_u64_checked(value, field);
+  if (v < lo || v > hi) {
+    throw spec_error(field, "must be in [" + std::to_string(lo) + ", " +
+                                std::to_string(hi) + "], got " +
+                                std::to_string(v));
+  }
+  return static_cast<unsigned>(v);
+}
+
+void parse_geometry(const json_value& doc, geometry_spec& geometry) {
+  for (const auto& [key, value] : doc.as_object()) {
+    const std::string field = "geometry." + key;
+    if (key == "rows_per_tile") {
+      geometry.rows_per_tile =
+          get_bounded_unsigned(value, field, 1, 1u << 22);
+    } else if (key == "word_bits") {
+      geometry.word_bits = get_bounded_unsigned(value, field, 1, 64);
+    } else if (key == "frac_bits") {
+      geometry.frac_bits = get_bounded_unsigned(value, field, 0, 63);
+    } else {
+      throw spec_error(field, "unknown field");
+    }
+  }
+  if (geometry.frac_bits >= geometry.word_bits) {
+    throw spec_error("geometry.frac_bits",
+                     "must be smaller than geometry.word_bits (" +
+                         std::to_string(geometry.word_bits) + "), got " +
+                         std::to_string(geometry.frac_bits));
+  }
+}
+
+void parse_fault(const json_value& doc, fault_spec& fault) {
+  for (const auto& [key, value] : doc.as_object()) {
+    const std::string field = "fault." + key;
+    if (key == "pcell") {
+      fault.pcell = get_number(value, field);
+      if (fault.pcell < 0.0 || fault.pcell >= 1.0) {
+        throw spec_error(field, "must be in (0, 1), or 0 for unset; got " +
+                                    value.dump(0));
+      }
+    } else if (key == "vdd") {
+      fault.vdd = get_number(value, field);
+      if (fault.vdd < 0.0 || fault.vdd > 2.0) {
+        throw spec_error(field, "must be in (0, 2] volts, or 0 for unset; got " +
+                                    value.dump(0));
+      }
+    } else if (key == "polarity") {
+      const std::string name = get_string_checked(value, field);
+      const auto polarity = parse_fault_polarity(name);
+      if (!polarity.has_value()) {
+        throw spec_error(field, "unknown polarity \"" + name +
+                                    "\" (valid: flip, random-stuck, mixed)");
+      }
+      fault.polarity = *polarity;
+    } else if (key == "vcrit_mean") {
+      fault.vcrit_mean = get_number(value, field);
+      if (fault.vcrit_mean < 0.0 || fault.vcrit_mean > 2.0) {
+        throw spec_error(field, "must be in [0, 2] volts, got " + value.dump(0));
+      }
+    } else if (key == "vcrit_sigma") {
+      fault.vcrit_sigma = get_number(value, field);
+      if (fault.vcrit_sigma < 0.0 || fault.vcrit_sigma > 1.0) {
+        throw spec_error(field, "must be in [0, 1] volts, got " + value.dump(0));
+      }
+    } else if (key == "model_seed") {
+      fault.model_seed = get_u64_checked(value, field);
+    } else {
+      throw spec_error(field, "unknown field");
+    }
+  }
+}
+
+void parse_seeds(const json_value& doc, seed_spec& seeds) {
+  for (const auto& [key, value] : doc.as_object()) {
+    const std::string field = "seeds." + key;
+    if (key == "root") {
+      seeds.root = get_u64_checked(value, field);
+    } else if (key == "app") {
+      seeds.app = get_u64_checked(value, field);
+    } else {
+      throw spec_error(field, "unknown field");
+    }
+  }
+}
+
+void parse_run(const json_value& doc, run_spec& run) {
+  for (const auto& [key, value] : doc.as_object()) {
+    const std::string field = "run." + key;
+    if (key == "threads") {
+      run.threads = get_bounded_unsigned(value, field, 0, 4096);
+    } else if (key == "batch") {
+      run.batch = get_u64_checked(value, field);
+    } else {
+      throw spec_error(field, "unknown field");
+    }
+  }
+}
+
+void parse_sweep(const json_value& doc, std::vector<sweep_axis>& sweep) {
+  const auto& axes = doc.as_array();
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    const std::string context = "sweep[" + std::to_string(i) + "]";
+    if (!axes[i].is_object()) throw spec_error(context, "expected an object");
+    sweep_axis axis;
+    for (const auto& [key, value] : axes[i].as_object()) {
+      const std::string field = context + "." + key;
+      if (key == "param") {
+        axis.param = std::string(
+            resolve_spec_alias(get_string_checked(value, field)));
+      } else if (key == "values") {
+        if (!value.is_array()) throw spec_error(field, "expected an array");
+        for (const json_value& v : value.as_array()) {
+          if (!v.is_number() && !v.is_string() && !v.is_bool()) {
+            throw spec_error(field, "sweep values must be scalars");
+          }
+          axis.values.push_back(v);
+        }
+      } else {
+        throw spec_error(field, "unknown field");
+      }
+    }
+    if (axis.param.empty()) throw spec_error(context + ".param", "must be set");
+    if (axis.values.empty()) {
+      throw spec_error(context + ".values", "needs at least one value");
+    }
+    sweep.push_back(std::move(axis));
+  }
+}
+
+}  // namespace
+
+std::string geometry_spec::size_label() const {
+  const std::uint64_t bits =
+      static_cast<std::uint64_t>(rows_per_tile) * word_bits;
+  if (bits % (8 * 1024) == 0) return std::to_string(bits / (8 * 1024)) + "KB";
+  return std::to_string(bits / 8) + "B";
+}
+
+scenario_spec scenario_spec::from_json(const json_value& doc) {
+  if (!doc.is_object()) throw spec_error("(root)", "spec must be a JSON object");
+  scenario_spec spec;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "name") {
+      spec.name = get_string_checked(value, "name");
+    } else if (key == "geometry") {
+      parse_geometry(get_object_checked(value, "geometry"), spec.geometry);
+    } else if (key == "fault") {
+      parse_fault(get_object_checked(value, "fault"), spec.fault);
+    } else if (key == "seeds") {
+      parse_seeds(get_object_checked(value, "seeds"), spec.seeds);
+    } else if (key == "run") {
+      parse_run(get_object_checked(value, "run"), spec.run);
+    } else if (key == "schemes") {
+      if (!value.is_array()) throw spec_error("schemes", "expected an array");
+      const auto& entries = value.as_array();
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        scheme_ref ref;
+        parse_entry(entries[i], "schemes[" + std::to_string(i) + "]", ref.name,
+                    ref.options);
+        spec.schemes.push_back(std::move(ref));
+      }
+    } else if (key == "workload") {
+      parse_entry(value, "workload", spec.workload.name, spec.workload.options);
+    } else if (key == "sweep") {
+      if (!value.is_array()) throw spec_error("sweep", "expected an array");
+      parse_sweep(value, spec.sweep);
+    } else {
+      throw spec_error(key, "unknown field");
+    }
+  }
+  return spec;
+}
+
+scenario_spec scenario_spec::parse_text(std::string_view text) {
+  return from_json(json_value::parse(text));
+}
+
+json_value scenario_spec::to_json() const {
+  json_value doc = json_value::make_object();
+  doc.set("name", name);
+
+  json_value g = json_value::make_object();
+  g.set("rows_per_tile", geometry.rows_per_tile);
+  g.set("word_bits", geometry.word_bits);
+  g.set("frac_bits", geometry.frac_bits);
+  doc.set("geometry", std::move(g));
+
+  json_value f = json_value::make_object();
+  f.set("pcell", fault.pcell);
+  f.set("vdd", fault.vdd);
+  f.set("polarity", std::string(to_string(fault.polarity)));
+  f.set("vcrit_mean", fault.vcrit_mean);
+  f.set("vcrit_sigma", fault.vcrit_sigma);
+  f.set("model_seed", fault.model_seed);
+  doc.set("fault", std::move(f));
+
+  json_value s = json_value::make_object();
+  s.set("root", seeds.root);
+  s.set("app", seeds.app);
+  doc.set("seeds", std::move(s));
+
+  json_value r = json_value::make_object();
+  r.set("threads", run.threads);
+  r.set("batch", run.batch);
+  doc.set("run", std::move(r));
+
+  json_value scheme_list = json_value::make_array();
+  for (const scheme_ref& ref : schemes) {
+    scheme_list.push_back(entry_to_json(ref.name, ref.options));
+  }
+  doc.set("schemes", std::move(scheme_list));
+
+  if (!workload.name.empty()) {
+    doc.set("workload", entry_to_json(workload.name, workload.options));
+  }
+
+  if (!sweep.empty()) {
+    json_value axes = json_value::make_array();
+    for (const sweep_axis& axis : sweep) {
+      json_value a = json_value::make_object();
+      a.set("param", axis.param);
+      json_value values = json_value::make_array();
+      for (const json_value& v : axis.values) values.push_back(v);
+      a.set("values", std::move(values));
+      axes.push_back(std::move(a));
+    }
+    doc.set("sweep", std::move(axes));
+  }
+  return doc;
+}
+
+cell_failure_model scenario_spec::failure_model() const {
+  // Unset calibration fields fall back to the 28 nm-class anchors of
+  // cell_failure_model::default_28nm.
+  const double default_mean = 0.28937;
+  const double default_sigma = 0.11848;
+  if (fault.vcrit_mean == 0.0 && fault.vcrit_sigma == 0.0) {
+    return cell_failure_model::default_28nm(fault.model_seed);
+  }
+  return {fault.vcrit_mean > 0.0 ? fault.vcrit_mean : default_mean,
+          fault.vcrit_sigma > 0.0 ? fault.vcrit_sigma : default_sigma,
+          fault.model_seed};
+}
+
+double scenario_spec::resolved_pcell(std::string_view consumer) const {
+  if (fault.pcell > 0.0) return fault.pcell;
+  if (fault.vdd > 0.0) return failure_model().pcell(fault.vdd);
+  throw spec_error("fault.pcell", "workload '" + std::string(consumer) +
+                                      "' needs fault.pcell or fault.vdd");
+}
+
+storage_config scenario_spec::storage(std::uint32_t spare_rows) const {
+  storage_config config;
+  config.rows_per_tile = geometry.rows_per_tile;
+  config.word_bits = geometry.word_bits;
+  config.frac_bits = geometry.frac_bits;
+  config.spare_rows_per_tile = spare_rows;
+  return config;
+}
+
+void apply_spec_override(json_value& doc, std::string_view key,
+                         std::string_view value) {
+  key = resolve_spec_alias(key);
+
+  if (key == "schemes") {
+    // Comma-separated compact scheme forms replace the whole list.
+    json_value list = json_value::make_array();
+    for (const std::string& item : split_csv(value)) {
+      list.push_back(json_value(item));
+    }
+    doc.set("schemes", std::move(list));
+    return;
+  }
+
+  if (key.starts_with("sweep.")) {
+    const std::string param(resolve_spec_alias(key.substr(6)));
+    json_value values = json_value::make_array();
+    for (const std::string& item : split_csv(value)) {
+      values.push_back(option_value_to_json(item));
+    }
+    json_value axis = json_value::make_object();
+    axis.set("param", param);
+    axis.set("values", std::move(values));
+    json_value* sweep = const_cast<json_value*>(doc.find("sweep"));
+    if (sweep == nullptr || !sweep->is_array()) {
+      json_value list = json_value::make_array();
+      list.push_back(std::move(axis));
+      doc.set("sweep", std::move(list));
+      return;
+    }
+    for (json_value& existing : sweep->as_array()) {
+      const json_value* existing_param = existing.find("param");
+      if (existing_param != nullptr && existing_param->is_string() &&
+          existing_param->as_string() == param) {
+        existing = std::move(axis);
+        return;
+      }
+    }
+    sweep->push_back(std::move(axis));
+    return;
+  }
+
+  // A compact workload string would block dotted workload.* overrides:
+  // normalize it to object form first.
+  if (key.starts_with("workload.")) {
+    const json_value* existing = doc.find("workload");
+    if (existing != nullptr && existing->is_string()) {
+      std::string name;
+      option_map options;
+      parse_compact_entry(existing->as_string(), "workload", name, options);
+      doc.set("workload", entry_to_json(name, options));
+    }
+    // "workload.name=x" and the shorthand "workload=x" both land on the
+    // object's name member below.
+  }
+  if (key == "workload") {
+    // Merge into an existing workload object (so the override orders
+    // `workload.samples=2 workload=fig7-quality` and
+    // `workload=fig7-quality workload.samples=2` mean the same thing) —
+    // but only while the name is unset or unchanged: switching to a
+    // DIFFERENT workload drops the old one's options, whose names would
+    // otherwise be silently reinterpreted (or rejected) by the new one.
+    std::string name;
+    option_map options;
+    parse_compact_entry(value, "workload", name, options);
+    // Normalize a compact-string spec workload to object form first, so
+    // the merge decision below sees its name and options either way.
+    json_value existing;
+    if (const json_value* node = doc.find("workload"); node != nullptr) {
+      if (node->is_string()) {
+        std::string existing_name;
+        option_map existing_options;
+        parse_compact_entry(node->as_string(), "workload", existing_name,
+                            existing_options);
+        existing = entry_to_json(existing_name, existing_options);
+      } else {
+        existing = *node;
+      }
+    }
+    const json_value* existing_name = existing.find("name");
+    if (existing.is_object() &&
+        (existing_name == nullptr ||
+         (existing_name->is_string() && existing_name->as_string() == name))) {
+      json_value merged = std::move(existing);
+      merged.set("name", name);
+      for (const auto& [opt_key, opt_value] : options.entries()) {
+        merged.set(opt_key, option_value_to_json(opt_value));
+      }
+      doc.set("workload", std::move(merged));
+    } else {
+      doc.set("workload", entry_to_json(name, options));
+    }
+    return;
+  }
+
+  try {
+    doc.set_path(key, option_value_to_json(std::string(value)));
+  } catch (const json_type_error& error) {
+    throw spec_error(std::string(key),
+                     std::string("cannot set this path (") + error.what() + ")");
+  }
+}
+
+}  // namespace urmem

@@ -1,0 +1,254 @@
+#include "urmem/scenario/scheme_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "urmem/scheme/protection_scheme.hpp"
+#include "urmem/scheme/stacked_scheme.hpp"
+#include "urmem/shuffle/shift_policy.hpp"
+
+namespace urmem {
+
+namespace {
+
+shift_policy parse_policy(const option_map& options) {
+  const std::string name = options.get_string("policy", "min-mse");
+  if (name == "min-mse") return shift_policy::min_mse;
+  if (name == "first-fault") return shift_policy::first_fault;
+  throw spec_error(options.field_name("policy"),
+                   "unknown shift policy \"" + name +
+                       "\" (valid: min-mse, first-fault)");
+}
+
+unsigned parse_nfm(const option_map& options, const geometry_spec& geometry) {
+  const unsigned nfm = options.get_u32("nfm", 1);
+  validate_shuffle_design(geometry, nfm, options.field_name("nfm"));
+  return nfm;
+}
+
+/// "nFM=k", with the non-default policy spelled out so two entries
+/// differing only in policy stay distinguishable in tables and JSON.
+std::string shuffle_label(unsigned nfm, shift_policy policy) {
+  std::string label = "nFM=" + std::to_string(nfm);
+  if (policy == shift_policy::first_fault) label += " (first-fault)";
+  return label;
+}
+
+unsigned parse_protected_bits(const option_map& options,
+                              const geometry_spec& geometry) {
+  const unsigned width = geometry.word_bits;
+  const unsigned protected_bits =
+      options.get_u32("protected-bits", width / 2);
+  if (protected_bits < 1 || protected_bits >= width) {
+    throw spec_error(options.field_name("protected-bits"),
+                     "must be in [1, " + std::to_string(width - 1) +
+                         "], got " + std::to_string(protected_bits));
+  }
+  return protected_bits;
+}
+
+/// Display label = the instance's own name() (what the paper tables
+/// use). Only cheap word-transform schemes go through here; recipes
+/// whose instances carry per-row state (shuffle, stacked) compute their
+/// label without building a throwaway rows-sized LUT.
+scheme_recipe labelled(scheme_factory factory, std::uint32_t spare_rows = 0) {
+  scheme_recipe recipe;
+  // Row count is irrelevant to the name; 1 keeps the probe instance tiny.
+  recipe.display_name = factory(1)->name();
+  recipe.factory = std::move(factory);
+  recipe.spare_rows = spare_rows;
+  return recipe;
+}
+
+void register_builtin_schemes(scheme_registry& registry) {
+  registry.add(
+      "none", "unprotected pass-through storage (the paper's baseline)", "",
+      [](const geometry_spec& geometry, const option_map&) {
+        const unsigned width = geometry.word_bits;
+        return labelled(
+            [width](std::uint32_t) { return make_scheme_none(width); });
+      });
+
+  registry.add(
+      "secded", "whole-word SECDED Hamming ECC — H(39,32) at 32 bits", "",
+      [](const geometry_spec& geometry, const option_map&) {
+        const unsigned width = geometry.word_bits;
+        return labelled(
+            [width](std::uint32_t) { return make_scheme_secded(width); });
+      });
+
+  registry.add(
+      "pecc",
+      "priority ECC over the MSB half — H(22,16) at 32 bits (Sec. 2 baseline)",
+      "protected-bits=16",
+      [](const geometry_spec& geometry, const option_map& options) {
+        const unsigned width = geometry.word_bits;
+        const unsigned protected_bits = parse_protected_bits(options, geometry);
+        return labelled([width, protected_bits](std::uint32_t) {
+          return make_scheme_pecc(width, protected_bits);
+        });
+      });
+
+  registry.add(
+      "shuffle",
+      "the paper's significance-driven bit-shuffling (Sec. 3)",
+      "nfm=1 policy=min-mse",
+      [](const geometry_spec& geometry, const option_map& options) {
+        const unsigned width = geometry.word_bits;
+        const unsigned nfm = parse_nfm(options, geometry);
+        const shift_policy policy = parse_policy(options);
+        scheme_recipe recipe;
+        recipe.display_name = shuffle_label(nfm, policy);
+        recipe.factory = [width, nfm, policy](std::uint32_t rows) {
+          return make_scheme_shuffle(rows, width, nfm, policy);
+        };
+        return recipe;
+      });
+
+  registry.add(
+      "shuffle+secded",
+      "stacked: bit-shuffle the word, then SECDED-encode it",
+      "nfm=1 policy=min-mse",
+      [](const geometry_spec& geometry, const option_map& options) {
+        const unsigned width = geometry.word_bits;
+        const unsigned nfm = parse_nfm(options, geometry);
+        const shift_policy policy = parse_policy(options);
+        scheme_recipe recipe;
+        recipe.display_name =
+            shuffle_label(nfm, policy) + "+" + secded_scheme(width).name();
+        recipe.factory = [width, nfm, policy](std::uint32_t rows) {
+          return make_scheme_stacked(rows, width, nfm,
+                                     stacked_scheme::ecc_stage::secded, policy);
+        };
+        return recipe;
+      });
+
+  registry.add(
+      "shuffle+pecc",
+      "stacked: bit-shuffle the word, then priority-ECC-encode it",
+      "nfm=1 policy=min-mse protected-bits=16",
+      [](const geometry_spec& geometry, const option_map& options) {
+        const unsigned width = geometry.word_bits;
+        const unsigned nfm = parse_nfm(options, geometry);
+        const shift_policy policy = parse_policy(options);
+        const unsigned protected_bits = parse_protected_bits(options, geometry);
+        scheme_recipe recipe;
+        recipe.display_name = shuffle_label(nfm, policy) + "+" +
+                              pecc_scheme(width, protected_bits).name();
+        recipe.factory = [width, nfm, policy, protected_bits](std::uint32_t rows) {
+          return make_scheme_stacked(rows, width, nfm,
+                                     stacked_scheme::ecc_stage::pecc, policy,
+                                     protected_bits);
+        };
+        return recipe;
+      });
+
+  registry.add(
+      "redundancy",
+      "classical spare-row repair (Sec. 2's dismissed alternative)",
+      "spares=16",
+      [](const geometry_spec& geometry, const option_map& options) {
+        const std::uint32_t spares = options.get_u32("spares", 16);
+        if (spares < 1 || spares > geometry.rows_per_tile) {
+          throw spec_error(
+              options.field_name("spares"),
+              "must be in [1, rows_per_tile], got " + std::to_string(spares));
+        }
+        const unsigned width = geometry.word_bits;
+        scheme_recipe recipe;
+        recipe.display_name = "spare-rows(" + std::to_string(spares) + ")";
+        recipe.factory = [width](std::uint32_t) {
+          return make_scheme_none(width);
+        };
+        recipe.spare_rows = spares;
+        return recipe;
+      });
+}
+
+}  // namespace
+
+void validate_shuffle_design(const geometry_spec& geometry, unsigned nfm,
+                             const std::string& nfm_field) {
+  // bit_shuffler enforces a power-of-two width and nfm in
+  // [1, log2(width)]; pre-check both so the diagnostic names a spec
+  // field instead of tripping a contract mid-run.
+  if (geometry.word_bits < 2 ||
+      (geometry.word_bits & (geometry.word_bits - 1)) != 0) {
+    throw spec_error("geometry.word_bits",
+                     "shuffle-based designs need a power-of-two word width "
+                     "in [2, 64], got " +
+                         std::to_string(geometry.word_bits));
+  }
+  unsigned log2_width = 0;
+  while ((2u << log2_width) <= geometry.word_bits) ++log2_width;
+  if (nfm < 1 || nfm > log2_width) {
+    throw spec_error(nfm_field, "must be in [1, " + std::to_string(log2_width) +
+                                    "] for " +
+                                    std::to_string(geometry.word_bits) +
+                                    "-bit words, got " + std::to_string(nfm));
+  }
+}
+
+scheme_registry& scheme_registry::instance() {
+  static scheme_registry registry = [] {
+    scheme_registry r;
+    register_builtin_schemes(r);
+    return r;
+  }();
+  return registry;
+}
+
+void scheme_registry::add(std::string name, std::string summary,
+                          std::string options_help, entry_factory factory) {
+  if (contains(name)) {
+    throw std::invalid_argument("scheme registry: name '" + name +
+                                "' is already registered");
+  }
+  entries_.push_back(
+      {{std::move(name), std::move(summary), std::move(options_help)},
+       std::move(factory)});
+}
+
+bool scheme_registry::contains(std::string_view name) const {
+  return std::any_of(entries_.begin(), entries_.end(), [&](const entry& e) {
+    return e.info.name == name;
+  });
+}
+
+scheme_recipe scheme_registry::make(const scheme_ref& ref,
+                                    const geometry_spec& geometry) const {
+  for (const entry& e : entries_) {
+    if (e.info.name != ref.name) continue;
+    scheme_recipe recipe = e.factory(geometry, ref.options);
+    ref.options.check_consumed();
+    return recipe;
+  }
+  std::string known;
+  for (const entry_info& info : list()) {
+    if (!known.empty()) known += ", ";
+    known += info.name;
+  }
+  const std::string context =
+      ref.options.context().empty() ? "schemes" : ref.options.context();
+  throw spec_error(context,
+                   "unknown scheme '" + ref.name + "' (known: " + known + ")");
+}
+
+std::vector<scheme_registry::entry_info> scheme_registry::list() const {
+  std::vector<entry_info> infos;
+  infos.reserve(entries_.size());
+  for (const entry& e : entries_) infos.push_back(e.info);
+  std::sort(infos.begin(), infos.end(),
+            [](const entry_info& a, const entry_info& b) { return a.name < b.name; });
+  return infos;
+}
+
+scheme_registration::scheme_registration(std::string name, std::string summary,
+                                         std::string options_help,
+                                         scheme_registry::entry_factory factory) {
+  scheme_registry::instance().add(std::move(name), std::move(summary),
+                                  std::move(options_help), std::move(factory));
+}
+
+}  // namespace urmem

@@ -1,11 +1,20 @@
 // A faulty SRAM array wrapped by a protection scheme — the functional
 // memory model the application experiments (paper Sec. 5.2) read and
 // write through.
+//
+// Optionally the array is manufactured with spare rows: set_fault_map
+// then runs the classical laser-fuse repair (row_redundancy) before the
+// scheme configures itself, remapping faulty data rows onto fault-free
+// spares. Spares fail at the same Pcell as data rows — they are part of
+// storage_geometry(), so fault injectors cover them — and whatever the
+// repair cannot fix is exactly what the protection scheme sees.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "urmem/memory/sram_array.hpp"
 #include "urmem/scheme/protection_scheme.hpp"
@@ -16,20 +25,34 @@ namespace urmem {
 class protected_memory {
  public:
   /// Fault-free memory; inject faults later with set_fault_map().
-  protected_memory(std::uint32_t rows, std::unique_ptr<protection_scheme> scheme);
+  /// `spare_rows` extra physical rows back the redundancy repair (0 =
+  /// no repair stage, the paper's default).
+  protected_memory(std::uint32_t rows, std::unique_ptr<protection_scheme> scheme,
+                   std::uint32_t spare_rows = 0);
 
-  [[nodiscard]] std::uint32_t rows() const { return array_.rows(); }
+  /// Logical (addressable) rows; spares are not directly addressable.
+  [[nodiscard]] std::uint32_t rows() const { return logical_rows_; }
+  [[nodiscard]] std::uint32_t spare_rows() const { return spare_rows_; }
   [[nodiscard]] const protection_scheme& scheme() const { return *scheme_; }
   [[nodiscard]] const sram_array& array() const { return array_; }
 
-  /// Storage geometry (rows x storage_bits) the fault maps must use.
+  /// Manufactured storage geometry (data + spare rows x storage_bits)
+  /// the fault maps must use.
   [[nodiscard]] array_geometry storage_geometry() const {
     return array_.geometry();
   }
 
-  /// Installs a fault map (geometry = storage_geometry()) and lets the
-  /// scheme reconfigure itself from it, the way a BIST pass would.
+  /// Installs a fault map (geometry = storage_geometry()), runs the
+  /// spare-row repair when spares exist, and lets the scheme
+  /// reconfigure itself from the (post-repair) faults, the way a BIST +
+  /// fuse + BIST flow would.
   void set_fault_map(fault_map faults);
+
+  /// (logical row -> spare row) assignments of the last repair.
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+  row_remaps() const {
+    return remaps_;
+  }
 
   /// Selects the compiled fast machinery or the reference oracle for
   /// subsequent accesses — switches both the array's fault application
@@ -70,8 +93,15 @@ class protected_memory {
   [[nodiscard]] double analytic_mse() const;
 
  private:
+  /// Physical row serving logical `row` (identity unless remapped).
+  [[nodiscard]] std::uint32_t physical_row(std::uint32_t row) const;
+
   std::unique_ptr<protection_scheme> scheme_;
+  std::uint32_t logical_rows_;
+  std::uint32_t spare_rows_;
   sram_array array_;
+  /// Sorted (logical row -> spare row) remaps; empty without repair.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> remaps_;
 };
 
 }  // namespace urmem

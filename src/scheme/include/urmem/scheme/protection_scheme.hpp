@@ -18,6 +18,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "urmem/common/bitops.hpp"
 #include "urmem/ecc/hamming_secded.hpp"
@@ -111,6 +112,16 @@ class protection_scheme {
   /// (Eq. 6; see each scheme for its fault-to-logical-bit mapping).
   [[nodiscard]] virtual double worst_case_row_cost(
       std::span<const std::uint32_t> fault_cols) const = 0;
+
+  /// Appends the logical bit significances b_i that remain corrupted
+  /// after the scheme's correction, for a row whose faulty storage
+  /// columns are `fault_cols` — the worst-case residual behind Eq. (6):
+  /// worst_case_row_cost(fault_cols) == sum_i 4^{b_i} over exactly
+  /// these bits. Composition layers (stacked_scheme) use this hook to
+  /// feed one stage's surviving corruption into the next stage as that
+  /// stage's fault columns.
+  virtual void residual_fault_bits(std::span<const std::uint32_t> fault_cols,
+                                   std::vector<std::uint32_t>& out) const = 0;
 };
 
 /// Pass-through scheme: the unprotected memory of the paper's baselines.
@@ -130,6 +141,8 @@ class none_scheme final : public protection_scheme {
                                   std::span<word_t> out) const override;
   [[nodiscard]] double worst_case_row_cost(
       std::span<const std::uint32_t> fault_cols) const override;
+  void residual_fault_bits(std::span<const std::uint32_t> fault_cols,
+                           std::vector<std::uint32_t>& out) const override;
 
  private:
   unsigned width_;
@@ -157,6 +170,8 @@ class secded_scheme final : public protection_scheme {
                                              word_t stored) const override;
   [[nodiscard]] double worst_case_row_cost(
       std::span<const std::uint32_t> fault_cols) const override;
+  void residual_fault_bits(std::span<const std::uint32_t> fault_cols,
+                           std::vector<std::uint32_t>& out) const override;
 
  private:
   hamming_secded code_;
@@ -184,6 +199,8 @@ class pecc_scheme final : public protection_scheme {
                                              word_t stored) const override;
   [[nodiscard]] double worst_case_row_cost(
       std::span<const std::uint32_t> fault_cols) const override;
+  void residual_fault_bits(std::span<const std::uint32_t> fault_cols,
+                           std::vector<std::uint32_t>& out) const override;
 
  private:
   priority_ecc codec_;
@@ -211,6 +228,8 @@ class shuffle_protection final : public protection_scheme {
                                   std::span<word_t> out) const override;
   [[nodiscard]] double worst_case_row_cost(
       std::span<const std::uint32_t> fault_cols) const override;
+  void residual_fault_bits(std::span<const std::uint32_t> fault_cols,
+                           std::vector<std::uint32_t>& out) const override;
 
  private:
   shuffle_scheme impl_;

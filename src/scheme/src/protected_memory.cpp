@@ -1,30 +1,55 @@
 #include "urmem/scheme/protected_memory.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "urmem/common/contracts.hpp"
+#include "urmem/scheme/row_redundancy.hpp"
 
 namespace urmem {
 
 protected_memory::protected_memory(std::uint32_t rows,
-                                   std::unique_ptr<protection_scheme> scheme)
+                                   std::unique_ptr<protection_scheme> scheme,
+                                   std::uint32_t spare_rows)
     : scheme_(std::move(scheme)),
-      array_(array_geometry{rows, scheme_->storage_bits()}) {
+      logical_rows_(rows),
+      spare_rows_(spare_rows),
+      array_(array_geometry{rows + spare_rows, scheme_->storage_bits()}) {
   expects(scheme_ != nullptr, "protected_memory requires a scheme");
 }
 
 void protected_memory::set_fault_map(fault_map faults) {
   expects(faults.geometry() == storage_geometry(), "fault map geometry mismatch");
-  scheme_->configure(faults);
+  remaps_.clear();
+  if (spare_rows_ == 0) {
+    scheme_->configure(faults);
+  } else {
+    // Fuse stage first: remap faulty data rows onto fault-free spares,
+    // then let the scheme program itself from what repair left behind
+    // (the post-repair BIST pass of a real redundancy + mitigation flow).
+    const row_redundancy_repair repair_engine(logical_rows_, spare_rows_,
+                                              scheme_->storage_bits());
+    repair_result repaired = repair_engine.repair(faults);
+    remaps_ = std::move(repaired.remaps);
+    scheme_->configure(repaired.residual);
+  }
   array_.set_faults(std::move(faults));
 }
 
+std::uint32_t protected_memory::physical_row(std::uint32_t row) const {
+  if (remaps_.empty()) return row;
+  const auto it = std::lower_bound(
+      remaps_.begin(), remaps_.end(), row,
+      [](const auto& remap, std::uint32_t key) { return remap.first < key; });
+  return it != remaps_.end() && it->first == row ? it->second : row;
+}
+
 void protected_memory::write(std::uint32_t row, word_t data) {
-  array_.write(row, scheme_->encode(row, data));
+  array_.write(physical_row(row), scheme_->encode(row, data));
 }
 
 read_result protected_memory::read(std::uint32_t row) const {
-  return scheme_->decode(row, array_.read(row));
+  return scheme_->decode(row, array_.read(physical_row(row)));
 }
 
 void protected_memory::write_block(std::uint32_t first,
@@ -42,12 +67,51 @@ void protected_memory::write_block(std::uint32_t first,
   } else {
     scheme_->encode_block(first, data, encoded);
   }
-  array_.write_rows(first, encoded);
+  if (remaps_.empty()) {
+    array_.write_rows(first, encoded);
+    return;
+  }
+  // Repaired rows live on their spares: batch the contiguous healthy
+  // segments and route each remapped row to its spare individually, so
+  // every logical word still costs exactly one physical access (the
+  // energy model's invariant). Remaps are rare and sorted.
+  const std::span<const word_t> words(encoded);
+  std::uint32_t segment = first;
+  const std::uint32_t end = first + static_cast<std::uint32_t>(data.size());
+  for (const auto& [logical, spare] : remaps_) {
+    if (logical < first || logical >= end) continue;
+    if (logical > segment) {
+      array_.write_rows(segment, words.subspan(segment - first, logical - segment));
+    }
+    array_.write(spare, words[logical - first]);
+    segment = logical + 1;
+  }
+  if (end > segment) {
+    array_.write_rows(segment, words.subspan(segment - first, end - segment));
+  }
 }
 
 void protected_memory::read_block(std::uint32_t first, std::span<word_t> out,
                                   block_stats* stats) const {
-  array_.read_rows(first, out);
+  if (remaps_.empty()) {
+    array_.read_rows(first, out);
+  } else {
+    // Mirror of write_block: contiguous segments batched, remapped rows
+    // served from their spares — one physical access per logical word.
+    std::uint32_t segment = first;
+    const std::uint32_t end = first + static_cast<std::uint32_t>(out.size());
+    for (const auto& [logical, spare] : remaps_) {
+      if (logical < first || logical >= end) continue;
+      if (logical > segment) {
+        array_.read_rows(segment, out.subspan(segment - first, logical - segment));
+      }
+      out[logical - first] = array_.read(spare);
+      segment = logical + 1;
+    }
+    if (end > segment) {
+      array_.read_rows(segment, out.subspan(segment - first, end - segment));
+    }
+  }
   block_stats local;
   if (array_.path() == fault_path::reference) {
     for (std::size_t i = 0; i < out.size(); ++i) {
@@ -70,6 +134,10 @@ double protected_memory::analytic_mse() const {
   static thread_local std::vector<std::uint32_t> cols;
   double total = 0.0;
   for (const std::uint32_t row : faults.faulty_rows()) {
+    // Spares only serve remapped rows (and repair picks fault-free
+    // spares), so faulty spares and retired (remapped) data rows both
+    // contribute nothing to the visible address space.
+    if (row >= logical_rows_ || physical_row(row) != row) continue;
     cols.clear();
     for (const fault& f : faults.faults_in_row(row)) cols.push_back(f.col);
     total += scheme_->worst_case_row_cost(cols);

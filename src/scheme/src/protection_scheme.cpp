@@ -86,6 +86,11 @@ double none_scheme::worst_case_row_cost(
   return cost;
 }
 
+void none_scheme::residual_fault_bits(std::span<const std::uint32_t> fault_cols,
+                                      std::vector<std::uint32_t>& out) const {
+  out.insert(out.end(), fault_cols.begin(), fault_cols.end());
+}
+
 // -------------------------------------------------------------- secded
 
 secded_scheme::secded_scheme(unsigned width) : code_(width) {}
@@ -148,6 +153,15 @@ double secded_scheme::worst_case_row_cost(
     if (bit >= 0) cost += squared_bit_error(static_cast<unsigned>(bit));
   }
   return cost;
+}
+
+void secded_scheme::residual_fault_bits(std::span<const std::uint32_t> fault_cols,
+                                        std::vector<std::uint32_t>& out) const {
+  if (fault_cols.size() <= 1) return;  // single error always corrected
+  for (const std::uint32_t col : fault_cols) {
+    const int bit = code_.data_bit_at_column(col);
+    if (bit >= 0) out.push_back(static_cast<std::uint32_t>(bit));
+  }
 }
 
 // ---------------------------------------------------------------- pecc
@@ -220,6 +234,23 @@ double pecc_scheme::worst_case_row_cost(
   return cost;
 }
 
+void pecc_scheme::residual_fault_bits(std::span<const std::uint32_t> fault_cols,
+                                      std::vector<std::uint32_t>& out) const {
+  std::size_t protected_faults = 0;
+  for (const std::uint32_t col : fault_cols) {
+    if (codec_.is_protected_column(col)) ++protected_faults;
+  }
+  for (const std::uint32_t col : fault_cols) {
+    if (codec_.is_protected_column(col)) {
+      if (protected_faults <= 1) continue;  // corrected by the inner code
+      const int bit = codec_.data_bit_at_column(col);
+      if (bit >= 0) out.push_back(static_cast<std::uint32_t>(bit));
+    } else {
+      out.push_back(col);
+    }
+  }
+}
+
 // ------------------------------------------------------------- shuffle
 
 shuffle_protection::shuffle_protection(std::uint32_t rows, unsigned width,
@@ -258,6 +289,16 @@ double shuffle_protection::worst_case_row_cost(
   if (fault_cols.empty()) return 0.0;
   const unsigned xfm = choose_xfm(impl_.shuffler(), fault_cols, policy_);
   return shift_cost(impl_.shuffler(), fault_cols, xfm);
+}
+
+void shuffle_protection::residual_fault_bits(
+    std::span<const std::uint32_t> fault_cols,
+    std::vector<std::uint32_t>& out) const {
+  if (fault_cols.empty()) return;
+  const unsigned xfm = choose_xfm(impl_.shuffler(), fault_cols, policy_);
+  for (const std::uint32_t col : fault_cols) {
+    out.push_back(impl_.shuffler().logical_position(col, xfm));
+  }
 }
 
 // ------------------------------------------------------------ factories

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "urmem/ml/matrix.hpp"
@@ -61,5 +62,14 @@ class application {
 /// All three applications of Table 1 in paper order.
 [[nodiscard]] std::vector<std::unique_ptr<application>> make_all_applications(
     std::uint64_t seed = 7);
+
+/// Application by registry name ("elasticnet", "pca", "knn", "image");
+/// nullptr for unknown names.
+[[nodiscard]] std::unique_ptr<application> make_application(
+    std::string_view name, std::uint64_t seed = 7);
+
+/// True when make_application accepts `name` — the single source of
+/// truth validators check against (cheap: no dataset is built).
+[[nodiscard]] bool is_known_application(std::string_view name);
 
 }  // namespace urmem

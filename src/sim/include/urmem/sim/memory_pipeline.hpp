@@ -31,6 +31,10 @@ struct storage_config {
   std::uint32_t rows_per_tile = 4096;  ///< 16 KB of 32-bit words
   unsigned frac_bits = 16;             ///< Q15.16 two's-complement
   unsigned word_bits = 32;
+  /// Spare rows manufactured per tile for redundancy repair (0 = none;
+  /// spares are injected with faults like every other row — see
+  /// protected_memory).
+  std::uint32_t spare_rows_per_tile = 0;
 };
 
 /// Statistics of one store/readback pass.

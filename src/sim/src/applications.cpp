@@ -167,4 +167,18 @@ std::vector<std::unique_ptr<application>> make_all_applications(std::uint64_t se
   return apps;
 }
 
+std::unique_ptr<application> make_application(std::string_view name,
+                                              std::uint64_t seed) {
+  if (name == "elasticnet") return make_elasticnet_app(seed);
+  if (name == "pca") return make_pca_app(seed);
+  if (name == "knn") return make_knn_app(seed);
+  if (name == "image") return make_image_app(seed);
+  return nullptr;
+}
+
+bool is_known_application(std::string_view name) {
+  return name == "elasticnet" || name == "pca" || name == "knn" ||
+         name == "image";
+}
+
 }  // namespace urmem

@@ -26,7 +26,8 @@ matrix store_and_readback(const matrix& input, const storage_config& config,
     expects(scheme != nullptr, "scheme factory returned null");
     expects(scheme->data_bits() == config.word_bits,
             "scheme word width must match the storage config");
-    protected_memory memory(config.rows_per_tile, std::move(scheme));
+    protected_memory memory(config.rows_per_tile, std::move(scheme),
+                            config.spare_rows_per_tile);
 
     fault_map faults = inject(memory.storage_geometry(), gen);
     local.injected_faults += faults.fault_count();

@@ -27,9 +27,9 @@ quality_result run_quality_experiment(const application& app,
   expects(config.pcell > 0.0 && config.pcell < 1.0, "pcell must be in (0,1)");
 
   // Fault-free baseline: quantization round trip only, on a reserved
-  // stream outside the trial-index range.
-  rng baseline_gen =
-      make_stream_rng(runner.seed(), 0xba5e11e5eedf1a65ULL);
+  // named stream outside the numbered trial range (the shared
+  // seed-derivation policy of rng.hpp — no per-binary magic constants).
+  rng baseline_gen = named_stream_rng(runner.seed(), "quality.baseline");
   const matrix clean_stored =
       store_and_readback(app.train_features(), config.storage, factory,
                          no_fault_injector(), baseline_gen);

@@ -1,0 +1,170 @@
+// urmem-run — the single driver of the declarative scenario API.
+//
+// One binary replaces the hand-wired experiment mains: it loads a
+// scenario_spec from a JSON file and/or dotted key=value overrides,
+// expands the sweep grid, runs the named workload over the named
+// schemes, prints the human report to stdout and (optionally) writes
+// the deterministic JSON report for CI goldens.
+//
+// Usage:
+//   urmem-run [spec.json] [key=value ...] [flags]
+//
+//   urmem-run --list-schemes
+//   urmem-run --list-workloads
+//   urmem-run scenarios/fig7_smoke.json --out=report.json
+//   urmem-run workload=fig5-mse schemes=none,shuffle:nfm=1,pecc
+//             pcell=5e-6 workload.runs=100000 threads=4
+//   urmem-run workload=fig7-quality schemes=none,pecc,shuffle:nfm=1
+//             pcell=1e-3 sweep.fault.pcell=1e-4,1e-3 --print-spec
+//
+// Flags: --list-schemes --list-workloads --print-spec --out=FILE --help
+// Override shorthands: seed, threads, batch, pcell, vdd, polarity, rows
+// (see scenario_spec.hpp for the schema).
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "urmem/scenario/scenario_runner.hpp"
+#include "urmem/scenario/scheme_registry.hpp"
+#include "urmem/scenario/workload_registry.hpp"
+
+namespace {
+
+constexpr std::string_view usage =
+    "usage: urmem-run [spec.json] [key=value ...] [flags]\n"
+    "\n"
+    "  Runs one scenario: a workload (by registry name) over a list of\n"
+    "  protection schemes (by registry name), optionally swept over a\n"
+    "  parameter grid. The spec comes from a JSON file, dotted key=value\n"
+    "  overrides, or both (overrides win).\n"
+    "\n"
+    "flags:\n"
+    "  --list-schemes     print the scheme registry and exit\n"
+    "  --list-workloads   print the workload registry and exit\n"
+    "  --print-spec       print the normalized spec JSON and exit\n"
+    "  --out=FILE         also write the deterministic JSON report to FILE\n"
+    "  --help             this text\n"
+    "\n"
+    "examples:\n"
+    "  urmem-run workload=table1-apps seed=7\n"
+    "  urmem-run workload=fig7-quality schemes=none,pecc,shuffle:nfm=1 \\\n"
+    "            pcell=1e-3 workload.samples=10 threads=0\n"
+    "  urmem-run scenarios/fig7_smoke.json --out=fig7.json\n";
+
+template <typename Infos>
+void print_registry(const Infos& infos) {
+  std::size_t width = 0;
+  for (const auto& info : infos) width = std::max(width, info.name.size());
+  for (const auto& info : infos) {
+    std::cout << info.name << std::string(width - info.name.size() + 2, ' ')
+              << info.summary;
+    if (!info.options_help.empty()) {
+      std::cout << " (options: " << info.options_help << ")";
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace urmem;
+
+  std::string spec_path;
+  std::string out_path;
+  bool print_spec = false;
+  std::vector<std::pair<std::string, std::string>> overrides;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage;
+      return 0;
+    }
+    if (arg == "--list-schemes") {
+      print_registry(scheme_registry::instance().list());
+      return 0;
+    }
+    if (arg == "--list-workloads") {
+      print_registry(workload_registry::instance().list());
+      return 0;
+    }
+    if (arg == "--print-spec") {
+      print_spec = true;
+      continue;
+    }
+    if (arg.starts_with("--out=")) {
+      out_path = arg.substr(6);
+      continue;
+    }
+    if (arg.starts_with("--")) {
+      std::cerr << "urmem-run: unknown flag '" << arg << "'\n" << usage;
+      return 2;
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      overrides.emplace_back(std::string(arg.substr(0, eq)),
+                             std::string(arg.substr(eq + 1)));
+      continue;
+    }
+    if (!spec_path.empty()) {
+      std::cerr << "urmem-run: more than one spec file given ('" << spec_path
+                << "' and '" << arg << "')\n";
+      return 2;
+    }
+    spec_path = arg;
+  }
+
+  try {
+    json_value doc = json_value::make_object();
+    if (!spec_path.empty()) {
+      std::ifstream in(spec_path);
+      if (!in) {
+        std::cerr << "urmem-run: cannot read spec file '" << spec_path << "'\n";
+        return 2;
+      }
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      doc = json_value::parse(text);
+    }
+    for (const auto& [key, value] : overrides) {
+      apply_spec_override(doc, key, value);
+    }
+
+    const scenario_spec spec = scenario_spec::from_json(doc);
+    if (print_spec) {
+      std::cout << spec.to_json().dump() << "\n";
+      return 0;
+    }
+
+    const scenario_runner runner(spec);
+    std::cerr << "scenario '" << spec.name << "': workload "
+              << spec.workload.name << ", " << spec.schemes.size()
+              << " scheme(s), " << runner.grid_size() << " grid point(s)\n";
+    const scenario_report report = runner.run(std::cout);
+    std::cerr << "scenario done: " << report.points.size() << " point(s), "
+              << report.total_trials << " trials\n";
+
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "urmem-run: cannot write report to '" << out_path << "'\n";
+        return 2;
+      }
+      out << report.to_json().dump() << "\n";
+      std::cerr << "report: " << out_path << "\n";
+    }
+    return 0;
+  } catch (const spec_error& error) {
+    std::cerr << "urmem-run: " << error.what() << "\n";
+    return 2;
+  } catch (const json_parse_error& error) {
+    std::cerr << "urmem-run: " << spec_path << ": " << error.what() << "\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "urmem-run: error: " << error.what() << "\n";
+    return 1;
+  }
+}
