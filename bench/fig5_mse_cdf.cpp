@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
     bench::json_object jconfig;
     jconfig.add("runs", runs)
         .add("n_max", nmax)
-        .add("pcell", spec.fault.pcell)
+        .add("pcell", spec.fault.pcell.value())
         .add("seed", spec.seeds.root)
         .add("rows", std::uint64_t{spec.geometry.rows_per_tile})
         .add("schemes", static_cast<std::uint64_t>(spec.schemes.size()))

@@ -16,23 +16,34 @@
 //   {
 //     "name": "scenario",
 //     "geometry": {"rows_per_tile": 4096, "word_bits": 32, "frac_bits": 16},
-//     "fault":    {"pcell": 0, "vdd": 0, "polarity": "flip",
+//     "fault":    {"pcell": 1e-3, "vdd": 0.73, "polarity": "flip",
 //                  "vcrit_mean": 0.0, "vcrit_sigma": 0.0, "model_seed": 1},
 //     "seeds":    {"root": 42, "app": 7},
 //     "run":      {"threads": 0, "batch": 0},
 //     "schemes":  ["none", {"name": "shuffle", "nfm": 1}, "shuffle:nfm=2"],
+//     "regions":  [{"rows": "0-1023", "scheme": "secded", "spare_rows": 8},
+//                  {"rows": "1024-4095", "scheme": "shuffle:nfm=2",
+//                   "pcell": 1e-3}],
 //     "workload": {"name": "fig7-quality", "samples": 10},
 //     "sweep":    [{"param": "fault.pcell", "values": [1e-4, 1e-3]}]
 //   }
 //
 // Scheme/workload entries take either the object form ({"name": ...,
 // <options>...}) or the compact string form "name:key=value:key=value"
-// that the CLI uses.
+// that the CLI uses. `fault.pcell`/`fault.vdd` are absent-by-default:
+// an explicit `"pcell": 0` means "inject zero faults", not "unset".
+// The optional `regions` section carves the tile into an ordered,
+// gap-free list of row ranges, each with its own scheme recipe,
+// optional spare-row pool, and optional fault operating-point override
+// (heterogeneous-reliability tiers); it resolves into one extra
+// `tiered` scheme entry appended to the comparison set.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "urmem/common/json.hpp"
@@ -54,10 +65,12 @@ struct geometry_spec {
 };
 
 /// Fault-model operating point. Exactly one of pcell/vdd is usually
-/// set; vdd derives Pcell through the critical-voltage model.
+/// set; vdd derives Pcell through the critical-voltage model. Presence
+/// is explicit (nullopt = unset), so `pcell: 0` is a legitimate
+/// fault-free operating point rather than a sentinel.
 struct fault_spec {
-  double pcell = 0.0;  ///< 0 = unset
-  double vdd = 0.0;    ///< 0 = unset (used when pcell is unset)
+  std::optional<double> pcell;  ///< cell failure probability in [0, 1)
+  std::optional<double> vdd;    ///< supply in (0, 2] V (used when pcell unset)
   fault_polarity polarity = fault_polarity::flip;
   double vcrit_mean = 0.0;   ///< 0 = cell model default
   double vcrit_sigma = 0.0;  ///< 0 = cell model default
@@ -99,6 +112,65 @@ struct sweep_axis {
   std::vector<json_value> values;  ///< scalar per grid step
 };
 
+/// One heterogeneous-reliability tier: an inclusive row range of the
+/// tile, the scheme protecting it, its own spare-row pool, and an
+/// optional fault operating-point override.
+struct region_spec {
+  std::uint32_t first_row = 0;
+  std::uint32_t last_row = 0;  ///< inclusive
+  scheme_ref scheme;
+  std::uint32_t spare_rows = 0;  ///< region-private redundancy pool
+  std::optional<double> pcell;   ///< region operating point (else spec fault)
+  std::optional<double> vdd;
+
+  [[nodiscard]] std::uint32_t rows() const { return last_row - first_row + 1; }
+  /// "a-b" label used in diagnostics, compact forms and display names.
+  [[nodiscard]] std::string range_label() const;
+};
+
+/// Parses a compact "a-b" (or single "a") inclusive row range; throws
+/// spec_error blaming `field` on malformed or descending ranges.
+[[nodiscard]] std::pair<std::uint32_t, std::uint32_t> parse_row_range(
+    std::string_view field, std::string_view text);
+
+/// Parses the compact "name:key=value:key=value" scheme form into a
+/// scheme_ref whose option diagnostics are prefixed with `context` —
+/// the same syntax the schemes list and CLI overrides use, exposed for
+/// combinators (tiered) that nest scheme entries inside option values.
+[[nodiscard]] scheme_ref parse_compact_scheme(std::string_view text,
+                                              const std::string& context);
+
+/// One compact region value ("secded,nfm=2,spare_rows=4,pcell=1e-4")
+/// split into its scheme compact form and the reserved, range-checked
+/// region keys — the single grammar behind the `regions=` CLI override
+/// and the `tiered:` scheme form.
+struct compact_region_value {
+  std::string scheme;  ///< re-joined "name:key=value" compact form
+  std::optional<std::uint32_t> spare_rows;
+  std::optional<double> pcell;
+  std::optional<double> vdd;
+};
+
+/// Parses a compact region value; throws spec_error blaming `field` on
+/// a missing scheme name or an out-of-range reserved key.
+[[nodiscard]] compact_region_value parse_compact_region_value(
+    std::string_view field, std::string_view text);
+
+/// Structural problem of a region table (index of the offending region,
+/// the member to blame, a message), for callers to wrap in their own
+/// field naming.
+struct region_table_issue {
+  std::size_t index = 0;
+  std::string member;  ///< "rows" or "spare_rows"
+  std::string message;
+};
+
+/// Checks that `regions` is ordered and tiles [0, rows_per_tile)
+/// exactly — no duplicates, overlaps or gaps — and that each region's
+/// spare pool is sane; nullopt when valid.
+[[nodiscard]] std::optional<region_table_issue> find_region_table_issue(
+    const std::vector<region_spec>& regions, std::uint32_t rows_per_tile);
+
 /// Declarative description of one experiment family.
 struct scenario_spec {
   std::string name = "scenario";
@@ -107,11 +179,15 @@ struct scenario_spec {
   seed_spec seeds;
   run_spec run;
   std::vector<scheme_ref> schemes;
+  std::vector<region_spec> regions;  ///< empty = homogeneous tile
   workload_ref workload;
   std::vector<sweep_axis> sweep;
 
   /// Parses a spec document; throws spec_error naming the offending
-  /// field on unknown keys and out-of-range values.
+  /// field on unknown keys and out-of-range values. Sweep axes are
+  /// validated here too: every axis value is applied to the base spec
+  /// and reparsed, so a bad `sweep[i].param` path (or an out-of-range
+  /// axis value) fails at parse time instead of mid-grid.
   [[nodiscard]] static scenario_spec from_json(const json_value& doc);
 
   /// Parses JSON text (convenience over json_value::parse + from_json).
@@ -125,10 +201,15 @@ struct scenario_spec {
   /// Critical-voltage cell model at this spec's calibration.
   [[nodiscard]] cell_failure_model failure_model() const;
 
-  /// Cell failure probability: fault.pcell, or derived from fault.vdd;
-  /// throws spec_error("fault.pcell") naming `consumer` when neither is
-  /// set.
+  /// Cell failure probability: fault.pcell (0 is a valid, fault-free
+  /// point), or derived from fault.vdd; throws spec_error("fault.pcell")
+  /// naming `consumer` when neither is set.
   [[nodiscard]] double resolved_pcell(std::string_view consumer) const;
+
+  /// Region operating point: the region's own pcell/vdd override when
+  /// present, else the spec-level point via resolved_pcell.
+  [[nodiscard]] double resolved_region_pcell(const region_spec& region,
+                                             std::string_view consumer) const;
 
   /// storage_config matching the geometry (plus optional spare rows).
   [[nodiscard]] storage_config storage(std::uint32_t spare_rows = 0) const;
@@ -140,7 +221,11 @@ struct scenario_spec {
 /// fault.vdd, polarity -> fault.polarity, workload -> the workload
 /// entry (compact form), schemes -> the scheme list (comma-separated
 /// compact forms). `sweep.<path>=v1,v2,...` replaces-or-appends the
-/// axis for `<path>`.
+/// axis for `<path>`. Region overrides: `regions=<range>=<scheme,
+/// opts...>:<range>=...` replaces the whole region list (reserved
+/// per-region keys: spare_rows, pcell, vdd; everything else configures
+/// the region's scheme), and `regions.<range>.<key>=value` merges one
+/// field into the region whose rows equal `<range>`.
 void apply_spec_override(json_value& doc, std::string_view key,
                          std::string_view value);
 

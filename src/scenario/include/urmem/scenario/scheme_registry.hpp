@@ -33,6 +33,17 @@ struct scheme_recipe {
   std::string display_name;   ///< table/report label, e.g. "nFM=2"
   scheme_factory factory;     ///< fresh instance per tile of `rows` rows
   std::uint32_t spare_rows = 0;  ///< redundancy spares manufactured per tile
+  /// Heterogeneous-reliability region table (tiered recipes only):
+  /// ordered row ranges with their own spare pools, to be installed as
+  /// protected_memory regions on every tile. Empty = homogeneous.
+  std::vector<memory_region> regions;
+
+  /// Total spares a tile of this recipe manufactures (pool or regions).
+  [[nodiscard]] std::uint32_t total_spare_rows() const {
+    std::uint32_t total = spare_rows;
+    for (const memory_region& region : regions) total += region.spare_rows;
+    return total;
+  }
 };
 
 /// Registry of named scheme recipes.
@@ -85,6 +96,18 @@ class scheme_registry {
 /// builds its own shuffle fixture.
 void validate_shuffle_design(const geometry_spec& geometry, unsigned nfm,
                              const std::string& nfm_field);
+
+/// Resolves an ordered, geometry-covering region table into the tiered
+/// combinator recipe: every region's scheme resolves through the
+/// registry, the factory routes rows to per-tier instances, and the
+/// recipe's region table carries each tier's spare pool (region spares
+/// plus whatever the tier scheme itself asks for, e.g. a redundancy
+/// tier). `context` prefixes diagnostics ("regions" for the spec
+/// section, the scheme entry context for the compact `tiered:` form).
+/// Nested tiered tiers are rejected.
+[[nodiscard]] scheme_recipe make_tiered_recipe(
+    const geometry_spec& geometry, const std::vector<region_spec>& regions,
+    const std::string& context);
 
 /// RAII helper: `static scheme_registration reg{"myscheme", ...};` in a
 /// linked TU adds an out-of-module scheme before main runs.

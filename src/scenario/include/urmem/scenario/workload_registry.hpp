@@ -117,24 +117,41 @@ struct workload_registration {
 };
 
 /// Resolves every scheme entry of `spec` through the scheme registry.
+/// When the spec carries a `regions` section, the tiered recipe it
+/// defines is appended as one extra comparison entry, so every
+/// scheme-driven workload sees the heterogeneous design next to its
+/// uniform baselines.
 [[nodiscard]] std::vector<scheme_recipe> resolve_schemes(
     const scenario_spec& spec);
 
+/// The tiered recipe of the spec's `regions` section alone (regions
+/// must be non-empty) — what resolve_schemes appends.
+[[nodiscard]] scheme_recipe resolve_region_recipe(const scenario_spec& spec);
+
 /// Like resolve_schemes, but rejects recipes a pure word-transform
-/// workload cannot serve (spare-row redundancy), blaming the scheme
-/// entry and naming `workload_name` in the diagnostic.
+/// workload cannot serve (spare-row redundancy, region spare pools),
+/// blaming the scheme entry and naming `workload_name` in the
+/// diagnostic.
 [[nodiscard]] std::vector<scheme_recipe> resolve_word_transform_schemes(
     const scenario_spec& spec, std::string_view workload_name);
 
-/// Throws spec_error("schemes") when the spec names schemes that
-/// `workload_name` (a fixture-building workload) would silently ignore.
+/// Throws spec_error("schemes") / spec_error("regions") when the spec
+/// names schemes (or reliability regions) that `workload_name` (a
+/// fixture-building workload) would silently ignore.
 void reject_schemes(const scenario_spec& spec, std::string_view workload_name);
+
+/// Throws spec_error naming regions[i].pcell/vdd when any region
+/// carries a fault operating-point override `workload_name` cannot
+/// honor (stratified exact-N injectors, external voltage sweeps).
+void reject_region_operating_points(const scenario_spec& spec,
+                                    std::string_view workload_name);
 
 namespace detail {
 /// Built-in registration hooks (explicit calls, so static-library
 /// linking cannot drop them).
 void register_figure_workloads(workload_registry& registry);
 void register_domain_workloads(workload_registry& registry);
+void register_hrm_workloads(workload_registry& registry);
 }  // namespace detail
 
 }  // namespace urmem

@@ -168,21 +168,31 @@ void parse_geometry(const json_value& doc, geometry_spec& geometry) {
   }
 }
 
+/// Shared range checks for the spec-level and per-region operating
+/// points; presence is explicit, so 0 is a valid (fault-free) Pcell.
+double checked_pcell(const json_value& value, const std::string& field) {
+  const double pcell = get_number(value, field);
+  if (pcell < 0.0 || pcell >= 1.0) {
+    throw spec_error(field, "must be in [0, 1), got " + value.dump(0));
+  }
+  return pcell;
+}
+
+double checked_vdd(const json_value& value, const std::string& field) {
+  const double vdd = get_number(value, field);
+  if (vdd <= 0.0 || vdd > 2.0) {
+    throw spec_error(field, "must be in (0, 2] volts, got " + value.dump(0));
+  }
+  return vdd;
+}
+
 void parse_fault(const json_value& doc, fault_spec& fault) {
   for (const auto& [key, value] : doc.as_object()) {
     const std::string field = "fault." + key;
     if (key == "pcell") {
-      fault.pcell = get_number(value, field);
-      if (fault.pcell < 0.0 || fault.pcell >= 1.0) {
-        throw spec_error(field, "must be in (0, 1), or 0 for unset; got " +
-                                    value.dump(0));
-      }
+      fault.pcell = checked_pcell(value, field);
     } else if (key == "vdd") {
-      fault.vdd = get_number(value, field);
-      if (fault.vdd < 0.0 || fault.vdd > 2.0) {
-        throw spec_error(field, "must be in (0, 2] volts, or 0 for unset; got " +
-                                    value.dump(0));
-      }
+      fault.vdd = checked_vdd(value, field);
     } else if (key == "polarity") {
       const std::string name = get_string_checked(value, field);
       const auto polarity = parse_fault_polarity(name);
@@ -266,7 +276,206 @@ void parse_sweep(const json_value& doc, std::vector<sweep_axis>& sweep) {
   }
 }
 
+void parse_regions(const json_value& doc, std::vector<region_spec>& regions) {
+  const auto& entries = doc.as_array();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::string context = "regions[" + std::to_string(i) + "]";
+    if (!entries[i].is_object()) throw spec_error(context, "expected an object");
+    region_spec region;
+    region.scheme.options = option_map(context + ".scheme");
+    bool have_rows = false;
+    for (const auto& [key, value] : entries[i].as_object()) {
+      const std::string field = context + "." + key;
+      if (key == "rows") {
+        const auto range =
+            parse_row_range(field, get_string_checked(value, field));
+        region.first_row = range.first;
+        region.last_row = range.second;
+        have_rows = true;
+      } else if (key == "scheme") {
+        parse_entry(value, context + ".scheme", region.scheme.name,
+                    region.scheme.options);
+      } else if (key == "spare_rows") {
+        region.spare_rows = get_bounded_unsigned(value, field, 0, 1u << 22);
+      } else if (key == "pcell") {
+        region.pcell = checked_pcell(value, field);
+      } else if (key == "vdd") {
+        region.vdd = checked_vdd(value, field);
+      } else {
+        throw spec_error(field, "unknown field");
+      }
+    }
+    if (!have_rows) {
+      throw spec_error(context + ".rows", "region needs a \"rows\": \"a-b\" range");
+    }
+    if (region.scheme.name.empty()) {
+      throw spec_error(context + ".scheme", "region needs a scheme entry");
+    }
+    regions.push_back(std::move(region));
+  }
+}
+
+/// Validates every sweep axis against the just-parsed spec: each axis
+/// value is applied onto the (sweep-free) base document and reparsed,
+/// so bad dotted paths and out-of-range values surface here — before
+/// any pool spawns or partial output is written — naming the axis.
+void validate_sweep_axes(const scenario_spec& spec) {
+  if (spec.sweep.empty()) return;
+  json_value base = spec.to_json();
+  auto& members = base.as_object();
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i].first == "sweep") {
+      members.erase(members.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < spec.sweep.size(); ++i) {
+    const sweep_axis& axis = spec.sweep[i];
+    const std::string context = "sweep[" + std::to_string(i) + "]";
+    for (const json_value& value : axis.values) {
+      json_value probe = base;
+      try {
+        probe.set_path(axis.param, value);
+      } catch (const json_type_error& error) {
+        throw spec_error(context + ".param",
+                         "'" + axis.param +
+                             "' does not address a settable spec field (" +
+                             error.what() + ")");
+      }
+      try {
+        (void)scenario_spec::from_json(probe);
+      } catch (const spec_error& error) {
+        throw spec_error(context, "value " + value.dump(0) + " for '" +
+                                      axis.param + "' is invalid: " +
+                                      error.what());
+      }
+    }
+  }
+}
+
 }  // namespace
+
+scheme_ref parse_compact_scheme(std::string_view text,
+                                const std::string& context) {
+  scheme_ref ref;
+  parse_compact_entry(text, context, ref.name, ref.options);
+  return ref;
+}
+
+compact_region_value parse_compact_region_value(std::string_view field,
+                                                std::string_view text) {
+  compact_region_value value;
+  for (const std::string& token : split_csv(text)) {
+    const std::size_t eq = token.find('=');
+    const std::string key = eq == std::string::npos ? token : token.substr(0, eq);
+    if (key == "spare_rows" || key == "pcell" || key == "vdd") {
+      if (eq == std::string::npos) {
+        throw spec_error(std::string(field), key + " needs a value");
+      }
+      const std::string raw = token.substr(eq + 1);
+      if (key == "spare_rows") {
+        // Bounded like the JSON path — no silent 32-bit wrap-around.
+        const std::uint64_t spares = parse_spec_u64(field, raw);
+        if (spares > (1u << 22)) {
+          throw spec_error(std::string(field),
+                           "spare_rows must be at most " +
+                               std::to_string(1u << 22) + ", got " + raw);
+        }
+        value.spare_rows = static_cast<std::uint32_t>(spares);
+      } else if (key == "pcell") {
+        const double pcell = parse_spec_double(field, raw);
+        if (pcell < 0.0 || pcell >= 1.0) {
+          throw spec_error(std::string(field),
+                           "pcell must be in [0, 1), got " + raw);
+        }
+        value.pcell = pcell;
+      } else {
+        const double vdd = parse_spec_double(field, raw);
+        if (vdd <= 0.0 || vdd > 2.0) {
+          throw spec_error(std::string(field),
+                           "vdd must be in (0, 2] volts, got " + raw);
+        }
+        value.vdd = vdd;
+      }
+      continue;
+    }
+    // Scheme name first, then its options, re-joined in compact form.
+    value.scheme += value.scheme.empty() ? token : ":" + token;
+  }
+  if (value.scheme.empty()) {
+    throw spec_error(std::string(field), "region names no scheme");
+  }
+  return value;
+}
+
+std::string region_spec::range_label() const {
+  return std::to_string(first_row) + "-" + std::to_string(last_row);
+}
+
+std::pair<std::uint32_t, std::uint32_t> parse_row_range(std::string_view field,
+                                                        std::string_view text) {
+  const std::size_t dash = text.find('-');
+  const std::string_view first_text =
+      dash == std::string_view::npos ? text : text.substr(0, dash);
+  const std::string_view last_text =
+      dash == std::string_view::npos ? text : text.substr(dash + 1);
+  const std::uint64_t first = parse_spec_u64(field, first_text);
+  const std::uint64_t last = parse_spec_u64(field, last_text);
+  if (first > last) {
+    throw spec_error(std::string(field),
+                     "range \"" + std::string(text) + "\" is descending");
+  }
+  if (last >= (std::uint64_t{1} << 32)) {
+    throw spec_error(std::string(field), "row " + std::to_string(last) +
+                                             " does not fit in 32 bits");
+  }
+  return {static_cast<std::uint32_t>(first), static_cast<std::uint32_t>(last)};
+}
+
+std::optional<region_table_issue> find_region_table_issue(
+    const std::vector<region_spec>& regions, std::uint32_t rows_per_tile) {
+  std::uint32_t next = 0;  // first row the next region must start at
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    const region_spec& region = regions[i];
+    if (region.first_row != next) {
+      if (region.first_row < next) {
+        return region_table_issue{
+            i, "rows",
+            "range " + region.range_label() +
+                   " overlaps (or repeats) the previous region; regions must "
+                   "be ordered and disjoint"};
+      }
+      return region_table_issue{
+          i, "rows",
+          "range " + region.range_label() + " leaves rows " +
+                 std::to_string(next) + "-" +
+                 std::to_string(region.first_row - 1) +
+                 " uncovered; regions must tile the whole tile gap-free"};
+    }
+    if (region.last_row >= rows_per_tile) {
+      return region_table_issue{
+          i, "rows",
+          "range " + region.range_label() + " exceeds the tile (rows 0-" +
+                 std::to_string(rows_per_tile - 1) + ")"};
+    }
+    if (region.spare_rows > region.rows()) {
+      return region_table_issue{
+          i, "spare_rows",
+          "spare_rows = " + std::to_string(region.spare_rows) +
+                 " exceeds the region's " + std::to_string(region.rows()) +
+                 " data rows"};
+    }
+    next = region.last_row + 1;
+  }
+  if (!regions.empty() && next != rows_per_tile) {
+    return region_table_issue{
+        regions.size() - 1, "rows",
+        "last region ends at row " + std::to_string(next - 1) +
+            " but the tile has rows 0-" + std::to_string(rows_per_tile - 1) +
+            "; regions must cover the tile exactly"};
+  }
+  return std::nullopt;
+}
 
 std::string geometry_spec::size_label() const {
   const std::uint64_t bits =
@@ -298,6 +507,9 @@ scenario_spec scenario_spec::from_json(const json_value& doc) {
                     ref.options);
         spec.schemes.push_back(std::move(ref));
       }
+    } else if (key == "regions") {
+      if (!value.is_array()) throw spec_error("regions", "expected an array");
+      parse_regions(value, spec.regions);
     } else if (key == "workload") {
       parse_entry(value, "workload", spec.workload.name, spec.workload.options);
     } else if (key == "sweep") {
@@ -307,6 +519,16 @@ scenario_spec scenario_spec::from_json(const json_value& doc) {
       throw spec_error(key, "unknown field");
     }
   }
+  // Cross-field checks run after the whole document is parsed (JSON
+  // member order must not matter): the region table against the final
+  // geometry, then every sweep axis against the assembled base spec.
+  if (const auto issue =
+          find_region_table_issue(spec.regions, spec.geometry.rows_per_tile)) {
+    throw spec_error(
+        "regions[" + std::to_string(issue->index) + "]." + issue->member,
+        issue->message);
+  }
+  validate_sweep_axes(spec);
   return spec;
 }
 
@@ -325,8 +547,10 @@ json_value scenario_spec::to_json() const {
   doc.set("geometry", std::move(g));
 
   json_value f = json_value::make_object();
-  f.set("pcell", fault.pcell);
-  f.set("vdd", fault.vdd);
+  // Absent operating points stay absent (an emitted 0 would turn the
+  // unset state into "inject zero faults" on reparse).
+  if (fault.pcell.has_value()) f.set("pcell", *fault.pcell);
+  if (fault.vdd.has_value()) f.set("vdd", *fault.vdd);
   f.set("polarity", std::string(to_string(fault.polarity)));
   f.set("vcrit_mean", fault.vcrit_mean);
   f.set("vcrit_sigma", fault.vcrit_sigma);
@@ -348,6 +572,21 @@ json_value scenario_spec::to_json() const {
     scheme_list.push_back(entry_to_json(ref.name, ref.options));
   }
   doc.set("schemes", std::move(scheme_list));
+
+  if (!regions.empty()) {
+    json_value region_list = json_value::make_array();
+    for (const region_spec& region : regions) {
+      json_value entry = json_value::make_object();
+      entry.set("rows", region.range_label());
+      entry.set("scheme",
+                entry_to_json(region.scheme.name, region.scheme.options));
+      if (region.spare_rows != 0) entry.set("spare_rows", region.spare_rows);
+      if (region.pcell.has_value()) entry.set("pcell", *region.pcell);
+      if (region.vdd.has_value()) entry.set("vdd", *region.vdd);
+      region_list.push_back(std::move(entry));
+    }
+    doc.set("regions", std::move(region_list));
+  }
 
   if (!workload.name.empty()) {
     doc.set("workload", entry_to_json(workload.name, workload.options));
@@ -382,10 +621,18 @@ cell_failure_model scenario_spec::failure_model() const {
 }
 
 double scenario_spec::resolved_pcell(std::string_view consumer) const {
-  if (fault.pcell > 0.0) return fault.pcell;
-  if (fault.vdd > 0.0) return failure_model().pcell(fault.vdd);
+  // Presence decides, not the value: pcell = 0 is the fault-free point.
+  if (fault.pcell.has_value()) return *fault.pcell;
+  if (fault.vdd.has_value()) return failure_model().pcell(*fault.vdd);
   throw spec_error("fault.pcell", "workload '" + std::string(consumer) +
                                       "' needs fault.pcell or fault.vdd");
+}
+
+double scenario_spec::resolved_region_pcell(const region_spec& region,
+                                            std::string_view consumer) const {
+  if (region.pcell.has_value()) return *region.pcell;
+  if (region.vdd.has_value()) return failure_model().pcell(*region.vdd);
+  return resolved_pcell(consumer);
 }
 
 storage_config scenario_spec::storage(std::uint32_t spare_rows) const {
@@ -397,14 +644,112 @@ storage_config scenario_spec::storage(std::uint32_t spare_rows) const {
   return config;
 }
 
+namespace {
+
+/// "a-b=scheme,opt=v,spare_rows=4,pcell=1e-4" compact region form ->
+/// the JSON object the spec parser accepts. Reserved keys (spare_rows,
+/// pcell, vdd) become region members; everything else configures the
+/// region's scheme.
+json_value compact_region_to_json(std::string_view text,
+                                  const std::string& context) {
+  const std::size_t eq = text.find('=');
+  if (eq == std::string_view::npos) {
+    throw spec_error(context, "expected <rows>=<scheme...>, got \"" +
+                                  std::string(text) + "\"");
+  }
+  const std::string range(text.substr(0, eq));
+  (void)parse_row_range(context, range);  // early, caller-blamed check
+
+  json_value entry = json_value::make_object();
+  entry.set("rows", range);
+  const compact_region_value tokens =
+      parse_compact_region_value(context + " \"" + range + "\"",
+                                 text.substr(eq + 1));
+  entry.set("scheme", tokens.scheme);
+  if (tokens.spare_rows.has_value()) entry.set("spare_rows", *tokens.spare_rows);
+  if (tokens.pcell.has_value()) entry.set("pcell", *tokens.pcell);
+  if (tokens.vdd.has_value()) entry.set("vdd", *tokens.vdd);
+  return entry;
+}
+
+}  // namespace
+
 void apply_spec_override(json_value& doc, std::string_view key,
                          std::string_view value) {
   key = resolve_spec_alias(key);
 
-  if (key == "schemes") {
-    // Comma-separated compact scheme forms replace the whole list.
+  if (key == "regions") {
+    // Colon-separated compact region entries replace the whole list;
+    // an empty value clears it (back to a homogeneous tile).
     json_value list = json_value::make_array();
+    std::size_t start = 0;
+    while (start < value.size()) {
+      const std::size_t colon = value.find(':', start);
+      const std::string_view item = colon == std::string_view::npos
+                                        ? value.substr(start)
+                                        : value.substr(start, colon - start);
+      if (!item.empty()) {
+        list.push_back(compact_region_to_json(item, "regions"));
+      }
+      if (colon == std::string_view::npos) break;
+      start = colon + 1;
+    }
+    doc.set("regions", std::move(list));
+    return;
+  }
+
+  if (key.starts_with("regions.")) {
+    // regions.<range>.<member>=value merges into the region whose rows
+    // match <range> (appending a new entry for an unseen range, which
+    // the spec parser then validates for coverage and a scheme).
+    const std::string_view rest = key.substr(8);
+    const std::size_t dot = rest.rfind('.');
+    if (dot == std::string_view::npos) {
+      throw spec_error(std::string(key),
+                       "expected regions.<range>.<member>=value");
+    }
+    const std::string range(rest.substr(0, dot));
+    const std::string member(rest.substr(dot + 1));
+    (void)parse_row_range(std::string(key), range);
+    json_value* regions = const_cast<json_value*>(doc.find("regions"));
+    if (regions == nullptr || !regions->is_array()) {
+      json_value list = json_value::make_array();
+      doc.set("regions", std::move(list));
+      regions = const_cast<json_value*>(doc.find("regions"));
+    }
+    for (json_value& existing : regions->as_array()) {
+      const json_value* rows = existing.find("rows");
+      if (rows != nullptr && rows->is_string() && rows->as_string() == range) {
+        existing.set(member, option_value_to_json(std::string(value)));
+        return;
+      }
+    }
+    json_value entry = json_value::make_object();
+    entry.set("rows", range);
+    entry.set(member, option_value_to_json(std::string(value)));
+    regions->push_back(std::move(entry));
+    return;
+  }
+
+  if (key == "schemes") {
+    // Comma-separated compact scheme forms replace the whole list. A
+    // tiered entry's sub-scheme options also use commas
+    // (tiered:0-99=secded:100-4095=shuffle,nfm=2); an item whose
+    // leading name token carries '=' can never start a standalone entry
+    // (scheme names have no '='), so such items re-join the entry they
+    // were split from.
+    std::vector<std::string> items;
     for (const std::string& item : split_csv(value)) {
+      const std::string_view name_token =
+          std::string_view(item).substr(0, item.find(':'));
+      if (!items.empty() && name_token.find('=') != std::string_view::npos) {
+        items.back() += "," + item;
+      } else {
+        items.push_back(item);
+      }
+    }
+    json_value list = json_value::make_array();
+    for (const std::string& item : items) {
       list.push_back(json_value(item));
     }
     doc.set("schemes", std::move(list));

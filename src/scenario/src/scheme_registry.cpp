@@ -6,6 +6,7 @@
 
 #include "urmem/scheme/protection_scheme.hpp"
 #include "urmem/scheme/stacked_scheme.hpp"
+#include "urmem/scheme/tiered_scheme.hpp"
 #include "urmem/shuffle/shift_policy.hpp"
 
 namespace urmem {
@@ -145,6 +146,54 @@ void register_builtin_schemes(scheme_registry& registry) {
       });
 
   registry.add(
+      "tiered",
+      "heterogeneous-reliability tiers: one scheme per row range (HRM)",
+      "<first>-<last>=<scheme>[,opt=v...][,spare_rows=k] per range",
+      [](const geometry_spec& geometry, const option_map& options) {
+        // Every option key is a row range; its value is the tier's
+        // scheme in comma-compact form, e.g.
+        //   tiered:0-1023=secded,spare_rows=8:1024-4095=shuffle,nfm=2
+        std::vector<region_spec> regions;
+        std::vector<std::string> range_keys;  // original keys, for blame
+        for (const auto& [key, raw] : options.entries()) {
+          const std::string field = options.field_name(key);
+          range_keys.push_back(key);
+          region_spec region;
+          const auto range = parse_row_range(field, key);
+          region.first_row = range.first;
+          region.last_row = range.second;
+          const compact_region_value tokens =
+              parse_compact_region_value(field, options.get_string(key, ""));
+          if (tokens.pcell.has_value() || tokens.vdd.has_value()) {
+            // A scheme recipe has no fault model to honor them with;
+            // accepting-and-ignoring would be silently dead config.
+            throw spec_error(field,
+                             "per-region operating points (pcell/vdd) live in "
+                             "the spec's regions section, not the tiered "
+                             "scheme form");
+          }
+          region.spare_rows = tokens.spare_rows.value_or(0);
+          region.scheme = parse_compact_scheme(tokens.scheme, field);
+          regions.push_back(std::move(region));
+        }
+        if (regions.empty()) {
+          throw spec_error(
+              options.context().empty() ? "schemes" : options.context(),
+              "tiered needs at least one <first>-<last>=<scheme> tier");
+        }
+        const std::string context =
+            options.context().empty() ? "schemes" : options.context();
+        // Pre-check here so the blame lands on the user's own option
+        // key (make_tiered_recipe would name a synthesized index).
+        if (const auto issue =
+                find_region_table_issue(regions, geometry.rows_per_tile)) {
+          throw spec_error(options.field_name(range_keys[issue->index]),
+                           issue->message);
+        }
+        return make_tiered_recipe(geometry, regions, context);
+      });
+
+  registry.add(
       "redundancy",
       "classical spare-row repair (Sec. 2's dismissed alternative)",
       "spares=16",
@@ -188,6 +237,70 @@ void validate_shuffle_design(const geometry_spec& geometry, unsigned nfm,
                                     std::to_string(geometry.word_bits) +
                                     "-bit words, got " + std::to_string(nfm));
   }
+}
+
+scheme_recipe make_tiered_recipe(const geometry_spec& geometry,
+                                 const std::vector<region_spec>& regions,
+                                 const std::string& context) {
+  if (const auto issue = find_region_table_issue(regions, geometry.rows_per_tile)) {
+    throw spec_error(context + "[" + std::to_string(issue->index) + "]." +
+                         issue->member,
+                     issue->message);
+  }
+  struct tier_plan {
+    std::uint32_t first_row;
+    std::uint32_t last_row;
+    scheme_factory factory;
+  };
+  std::vector<tier_plan> plan;
+  plan.reserve(regions.size());
+  scheme_recipe recipe;
+  recipe.display_name = "tiered[";
+  unsigned storage_bits = 0;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    const region_spec& region = regions[i];
+    const std::string field = context + "[" + std::to_string(i) + "].scheme";
+    if (region.scheme.name == "tiered") {
+      throw spec_error(field, "tiers cannot nest another tiered scheme");
+    }
+    scheme_recipe sub =
+        scheme_registry::instance().make(region.scheme, geometry);
+    if (!sub.regions.empty()) {
+      throw spec_error(field, "tier scheme '" + region.scheme.name +
+                                  "' carries its own region table");
+    }
+    // The tier's storage width is row-count independent; a 1-row probe
+    // avoids building a rows-sized LUT just to size the array.
+    const unsigned tier_bits = sub.factory(1)->storage_bits();
+    storage_bits = std::max(storage_bits, tier_bits);
+    if (i != 0) recipe.display_name += "|";
+    recipe.display_name += region.range_label() + ":" + sub.display_name;
+    // The tier keeps its own pool: region spares plus whatever the tier
+    // scheme itself manufactures (a redundancy tier's `spares`). The
+    // tier's own storage width rides along so repair and reporting can
+    // ignore faults in a wider sibling's surplus columns.
+    recipe.regions.push_back(memory_region{region.first_row, region.last_row,
+                                           region.spare_rows + sub.spare_rows,
+                                           tier_bits});
+    plan.push_back(tier_plan{region.first_row, region.last_row,
+                             std::move(sub.factory)});
+  }
+  recipe.display_name += "]";
+  recipe.factory = [plan = std::move(plan),
+                    storage_bits](std::uint32_t rows) {
+    // Probe instances may ask for fewer rows than the tiered design
+    // covers (display/width probes): clamp tiers to [0, rows) and pin
+    // the storage width to the full design's via the hint.
+    std::vector<tiered_scheme::tier> tiers;
+    for (const tier_plan& t : plan) {
+      if (t.first_row >= rows) break;
+      const std::uint32_t last = std::min(t.last_row, rows - 1);
+      tiers.push_back(tiered_scheme::tier{
+          t.first_row, last, t.factory(last - t.first_row + 1)});
+    }
+    return std::make_unique<tiered_scheme>(std::move(tiers), storage_bits);
+  };
+  return recipe;
 }
 
 scheme_registry& scheme_registry::instance() {

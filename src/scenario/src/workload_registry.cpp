@@ -22,6 +22,7 @@ workload_registry& workload_registry::instance() {
     workload_registry r;
     detail::register_figure_workloads(r);
     detail::register_domain_workloads(r);
+    detail::register_hrm_workloads(r);
     return r;
   }();
   return registry;
@@ -81,11 +82,21 @@ workload_registration::workload_registration(
 
 std::vector<scheme_recipe> resolve_schemes(const scenario_spec& spec) {
   std::vector<scheme_recipe> recipes;
-  recipes.reserve(spec.schemes.size());
+  recipes.reserve(spec.schemes.size() + (spec.regions.empty() ? 0 : 1));
   for (const scheme_ref& ref : spec.schemes) {
     recipes.push_back(scheme_registry::instance().make(ref, spec.geometry));
   }
+  if (!spec.regions.empty()) {
+    recipes.push_back(resolve_region_recipe(spec));
+  }
   return recipes;
+}
+
+scheme_recipe resolve_region_recipe(const scenario_spec& spec) {
+  if (spec.regions.empty()) {
+    throw spec_error("regions", "this scenario needs a regions section");
+  }
+  return make_tiered_recipe(spec.geometry, spec.regions, "regions");
 }
 
 void reject_schemes(const scenario_spec& spec, std::string_view workload_name) {
@@ -95,16 +106,41 @@ void reject_schemes(const scenario_spec& spec, std::string_view workload_name) {
                          "' workload does not use protection schemes; "
                          "remove the schemes list");
   }
+  if (!spec.regions.empty()) {
+    throw spec_error("regions",
+                     "the '" + std::string(workload_name) +
+                         "' workload does not use protection schemes; "
+                         "remove the regions section");
+  }
+}
+
+void reject_region_operating_points(const scenario_spec& spec,
+                                    std::string_view workload_name) {
+  for (std::size_t i = 0; i < spec.regions.size(); ++i) {
+    const region_spec& region = spec.regions[i];
+    if (!region.pcell.has_value() && !region.vdd.has_value()) continue;
+    throw spec_error(
+        "regions[" + std::to_string(i) + "]." +
+            (region.pcell.has_value() ? "pcell" : "vdd"),
+        "the '" + std::string(workload_name) +
+            "' workload injects at one operating point and cannot honor "
+            "per-region overrides (hrm-quality and ml-quality can)");
+  }
 }
 
 std::vector<scheme_recipe> resolve_word_transform_schemes(
     const scenario_spec& spec, std::string_view workload_name) {
   std::vector<scheme_recipe> recipes = resolve_schemes(spec);
   for (std::size_t i = 0; i < recipes.size(); ++i) {
-    if (recipes[i].spare_rows != 0) {
+    if (recipes[i].total_spare_rows() != 0) {
+      const std::string context = i < spec.schemes.size()
+                                      ? "schemes[" + std::to_string(i) + "]"
+                                      : "regions";
+      const std::string name =
+          i < spec.schemes.size() ? spec.schemes[i].name : "tiered";
       throw spec_error(
-          "schemes[" + std::to_string(i) + "]",
-          "scheme '" + spec.schemes[i].name + "' needs spare rows, which the '" +
+          context,
+          "scheme '" + name + "' needs spare rows, which the '" +
               std::string(workload_name) +
               "' workload cannot model (it evaluates per-row word transforms)");
     }

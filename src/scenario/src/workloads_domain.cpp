@@ -46,6 +46,9 @@ class psnr_workload final : public workload {
 
   workload_output run(const scenario_spec& spec,
                       campaign_pool& pool) const override {
+    // The VDD sweep below defines the operating point; per-region
+    // overrides would silently contradict it.
+    reject_region_operating_points(spec, "psnr-image");
     const std::vector<scheme_recipe> recipes = resolve_schemes(spec);
     if (recipes.empty()) {
       throw spec_error("schemes", "psnr-image needs at least one scheme");
@@ -95,10 +98,11 @@ class psnr_workload final : public workload {
               spec.seeds.root,
               "psnr.faults." + std::to_string(vdd_index) + "." +
                   std::to_string(repeat));
+          storage_config storage = spec.storage(recipe.spare_rows);
+          storage.regions = recipe.regions;
           const matrix stored = store_and_readback(
-              app->train_features(), spec.storage(recipe.spare_rows),
-              recipe.factory, binomial_fault_injector(pcell, spec.fault.polarity),
-              fault_gen);
+              app->train_features(), storage, recipe.factory,
+              binomial_fault_injector(pcell, spec.fault.polarity), fault_gen);
           return app->evaluate(stored);
         });
     output.trials = runner.last_stats().trials;
@@ -161,7 +165,14 @@ class ml_quality_workload final : public workload {
     if (recipes.empty()) {
       throw spec_error("schemes", "ml-quality needs at least one scheme");
     }
-    const double pcell = spec.resolved_pcell("ml-quality");
+    // A regions-only spec whose every region carries its own operating
+    // point needs no spec-level one; uniform scheme entries do, and the
+    // per-region fallback path resolves (and diagnoses) it on demand.
+    const bool has_spec_point =
+        spec.fault.pcell.has_value() || spec.fault.vdd.has_value();
+    const double pcell = has_spec_point || !spec.schemes.empty()
+                             ? spec.resolved_pcell("ml-quality")
+                             : 0.0;
     const cell_failure_model model = spec.failure_model();
     const auto app = make_application(app_name_, spec.seeds.app);
     const double clean = app->evaluate(app->train_features());
@@ -169,11 +180,19 @@ class ml_quality_workload final : public workload {
     std::ostringstream out;
     out << app->name() << " (" << app->dataset_name()
         << ", metric: " << app->metric_name() << ") with training data in a "
-        << spec.geometry.size_label() << "-tiled unreliable SRAM.\n"
-        << "Operating point: Pcell = " << format_scientific(pcell, 2)
-        << " (VDD ~ " << format_double(model.vdd_for_pcell(pcell), 3)
-        << " V in the 28nm-class cell model).\n\n"
-        << "Fault-free metric on the held-out set: " << format_double(clean, 4)
+        << spec.geometry.size_label() << "-tiled unreliable SRAM.\n";
+    if (has_spec_point || !spec.schemes.empty()) {
+      out << "Operating point: Pcell = " << format_scientific(pcell, 2);
+      // Pcell = 0 (explicit fault-free point) has no finite VDD preimage.
+      if (pcell > 0.0) {
+        out << " (VDD ~ " << format_double(model.vdd_for_pcell(pcell), 3)
+            << " V in the 28nm-class cell model)";
+      }
+      out << ".\n\n";
+    } else {
+      out << "Operating point: per-region overrides (regions section).\n\n";
+    }
+    out << "Fault-free metric on the held-out set: " << format_double(clean, 4)
         << "\n\n";
 
     workload_output output;
@@ -185,13 +204,32 @@ class ml_quality_workload final : public workload {
 
     console_table table({"scheme", "storage cols", "injected faults",
                          "corrected", "uncorrectable", "metric", "normalized"});
-    for (const scheme_recipe& recipe : recipes) {
+    for (std::size_t i = 0; i < recipes.size(); ++i) {
+      const scheme_recipe& recipe = recipes[i];
       // Identical fault stream for every scheme (shared named stream).
       rng gen = named_stream_rng(spec.seeds.root, "quality.faults");
       pipeline_stats stats;
-      const matrix stored = store_and_readback(
-          app->train_features(), spec.storage(recipe.spare_rows), recipe.factory,
-          binomial_fault_injector(pcell, spec.fault.polarity), gen, &stats);
+      storage_config storage = spec.storage(recipe.spare_rows);
+      storage.regions = recipe.regions;
+      // The spec-section tiered recipe (appended after the uniform
+      // baselines) may carry per-region operating points; honor them
+      // with the region-segmented injector. Uniform recipes (and
+      // `tiered:` compact entries) inject at the spec point.
+      fault_injector inject =
+          binomial_fault_injector(pcell, spec.fault.polarity);
+      if (i == spec.schemes.size() && !spec.regions.empty()) {
+        std::vector<region_operating_point> points;
+        points.reserve(recipe.regions.size());
+        for (std::size_t r = 0; r < recipe.regions.size(); ++r) {
+          points.push_back({recipe.regions[r],
+                            spec.resolved_region_pcell(spec.regions[r],
+                                                       "ml-quality")});
+        }
+        inject = region_fault_injector(std::move(points), spec.fault.polarity);
+      }
+      const matrix stored =
+          store_and_readback(app->train_features(), storage, recipe.factory,
+                             inject, gen, &stats);
       const double metric = app->evaluate(stored);
       // storage_bits is row-count independent; a 1-row probe instance
       // avoids building a throwaway rows-sized LUT per scheme.

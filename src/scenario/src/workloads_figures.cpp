@@ -76,12 +76,18 @@ class fig5_workload final : public workload {
 
   workload_output run(const scenario_spec& spec,
                       campaign_pool& pool) const override {
+    reject_region_operating_points(spec, "fig5-mse");
     const std::vector<scheme_recipe> recipes =
         resolve_word_transform_schemes(spec, "fig5-mse");
     if (recipes.empty()) {
       throw spec_error("schemes", "fig5-mse needs at least one scheme");
     }
     const double pcell = spec.resolved_pcell("fig5-mse");
+    if (pcell <= 0.0) {
+      throw spec_error("fault.pcell",
+                       "fig5-mse stratifies over failure counts and needs a "
+                       "positive Pcell");
+    }
     const std::uint32_t rows = spec.geometry.rows_per_tile;
 
     mse_cdf_config config;
@@ -102,6 +108,21 @@ class fig5_workload final : public workload {
 
     std::uint64_t total_trials = 0;
     std::vector<empirical_cdf> cdfs;
+    if (analytic_) {
+      // The analytic convolution builds ONE per-row cost distribution
+      // from the row-agnostic worst_case_row_cost; a tiered scheme has
+      // no single such distribution (each tier has its own), so the
+      // closed form would charge every fault at the weakest tier.
+      for (std::size_t i = 0; i < recipes.size(); ++i) {
+        if (recipes[i].regions.empty()) continue;
+        throw spec_error(i < spec.schemes.size()
+                             ? "schemes[" + std::to_string(i) + "]"
+                             : "regions",
+                         "fig5-mse analytic=true convolves one per-row cost "
+                         "distribution and cannot model tiered schemes; use "
+                         "the sampled path (analytic=false)");
+      }
+    }
     for (const auto& scheme : schemes) {
       if (analytic_) {
         std::cerr << "  convolving " << scheme->name() << "...\n";
@@ -240,6 +261,7 @@ class fig7_workload final : public workload {
 
   workload_output run(const scenario_spec& spec,
                       campaign_pool& pool) const override {
+    reject_region_operating_points(spec, "fig7-quality");
     const std::vector<scheme_recipe> recipes = resolve_schemes(spec);
     if (recipes.empty()) {
       throw spec_error("schemes", "fig7-quality needs at least one scheme");
@@ -248,6 +270,11 @@ class fig7_workload final : public workload {
 
     quality_experiment_config config;
     config.pcell = spec.resolved_pcell("fig7-quality");
+    if (config.pcell <= 0.0) {
+      throw spec_error("fault.pcell",
+                       "fig7-quality stratifies over failure counts and needs "
+                       "a positive Pcell");
+    }
     config.storage = spec.storage();
     config.samples_per_count = samples_;
     config.coverage = coverage_;
@@ -285,6 +312,7 @@ class fig7_workload final : public workload {
                   << "...\n";
         quality_experiment_config scheme_config = config;
         scheme_config.storage.spare_rows_per_tile = recipe.spare_rows;
+        scheme_config.storage.regions = recipe.regions;
         results.push_back(run_quality_experiment(
             *app, recipe.factory, recipe.display_name, scheme_config, runner));
         output.trials += runner.last_stats().trials;

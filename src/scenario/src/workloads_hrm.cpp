@@ -1,0 +1,502 @@
+// The heterogeneous-reliability payoff workload (`hrm-quality`): one
+// data set stored through region-tiered tiles — each region with its
+// own scheme, spare pool, and fault operating point — with the report
+// broken out PER REGION: injected faults, spare-row repairs, residual
+// faults, word-level corruption and the region's analytic MSE, next to
+// whole-store quality and any uniform baseline schemes the spec lists.
+//
+// Determinism: trials shard over the campaign pool on per-trial streams
+// (bit-identical at any thread count); `app=synthetic` stores a
+// seed-derived integer pattern so every reported count is integer-exact
+// across platforms (the CI golden runs this mode), while the analytic
+// MSE is a sum of powers of four — dyadic, hence also bit-stable.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "urmem/common/table.hpp"
+#include "urmem/scenario/workload_registry.hpp"
+#include "urmem/sim/applications.hpp"
+#include "urmem/sim/quantizer.hpp"
+
+namespace urmem {
+namespace {
+
+/// Integer counters of one region, summed over tiles and trials.
+struct region_counts {
+  std::uint64_t injected_faults = 0;   ///< region data rows + its spares
+  std::uint64_t repaired_rows = 0;     ///< rows fused onto the region pool
+  std::uint64_t residual_rows = 0;     ///< faulty rows left visible
+  std::uint64_t residual_faults = 0;   ///< faults in those rows
+  std::uint64_t word_errors = 0;       ///< readback words != written words
+  std::uint64_t error_lsb_sum = 0;     ///< sum |readback - written| in LSBs
+  double analytic_mse_sum = 0.0;       ///< Eq. (6) per tile, summed
+
+  void operator+=(const region_counts& other) {
+    injected_faults += other.injected_faults;
+    repaired_rows += other.repaired_rows;
+    residual_rows += other.residual_rows;
+    residual_faults += other.residual_faults;
+    word_errors += other.word_errors;
+    error_lsb_sum += other.error_lsb_sum;
+    analytic_mse_sum += other.analytic_mse_sum;
+  }
+};
+
+/// One trial's outputs (merged in trial order after the pool drains).
+struct trial_result {
+  std::vector<region_counts> regions;
+  std::uint64_t corrected_words = 0;
+  std::uint64_t uncorrectable_words = 0;
+  std::uint64_t tiles = 0;
+  double metric = 0.0;  ///< app modes only
+  std::vector<std::uint64_t> baseline_word_errors;
+  std::vector<double> baseline_metrics;
+};
+
+class hrm_workload final : public workload {
+ public:
+  explicit hrm_workload(const option_map& options)
+      : app_name_(options.get_string("app", "synthetic")),
+        trials_(options.get_u32("trials", 1)),
+        tiles_(options.get_u32("tiles", 1)) {
+    if (app_name_ != "synthetic" && !is_known_application(app_name_)) {
+      throw spec_error(options.field_name("app"),
+                       "unknown application \"" + app_name_ +
+                           "\" (valid: synthetic, elasticnet, pca, knn, image)");
+    }
+    if (trials_ < 1) {
+      throw spec_error(options.field_name("trials"), "must be at least 1");
+    }
+    if (tiles_ < 1) {
+      throw spec_error(options.field_name("tiles"), "must be at least 1");
+    }
+    // exact_faults=n0,n1,... pins each region's per-tile fault count —
+    // pure integer sampling, so golden runs diff bit-identically across
+    // platforms (the binomial path draws through libm).
+    for (const double n : options.get_double_list("exact_faults", "")) {
+      if (n < 0.0 || n != std::floor(n)) {
+        throw spec_error(options.field_name("exact_faults"),
+                         "entries must be non-negative integers");
+      }
+      exact_faults_.push_back(static_cast<std::uint64_t>(n));
+    }
+  }
+
+  workload_output run(const scenario_spec& spec,
+                      campaign_pool& pool) const override {
+    const scheme_recipe tiered = resolve_region_recipe(spec);
+    // The uniform comparison set (spec.schemes) rides along as
+    // baselines; resolved directly so the tiered recipe is built once.
+    std::vector<scheme_recipe> baselines;
+    baselines.reserve(spec.schemes.size());
+    for (const scheme_ref& ref : spec.schemes) {
+      baselines.push_back(scheme_registry::instance().make(ref, spec.geometry));
+    }
+
+    if (!exact_faults_.empty()) {
+      if (exact_faults_.size() != tiered.regions.size()) {
+        throw spec_error("workload.exact_faults",
+                         "needs exactly one fault count per region (" +
+                             std::to_string(tiered.regions.size()) + ")");
+      }
+      // Capacity is measured over the manufactured storage width (the
+      // widest tier's columns), which is what the injector covers.
+      const unsigned storage_width = tiered.factory(1)->storage_bits();
+      for (std::size_t r = 0; r < tiered.regions.size(); ++r) {
+        const std::uint64_t cells =
+            std::uint64_t{tiered.regions[r].rows() +
+                          tiered.regions[r].spare_rows} *
+            storage_width;
+        if (exact_faults_[r] > cells) {
+          throw spec_error("workload.exact_faults",
+                           "region " + spec.regions[r].range_label() +
+                               " has only " + std::to_string(cells) +
+                               " cells, cannot hold " +
+                               std::to_string(exact_faults_[r]) + " faults");
+        }
+      }
+      // Pinned counts define the whole operating point; a pcell/vdd
+      // override alongside them would be silently dead configuration.
+      for (std::size_t r = 0; r < spec.regions.size(); ++r) {
+        if (!spec.regions[r].pcell.has_value() &&
+            !spec.regions[r].vdd.has_value()) {
+          continue;
+        }
+        throw spec_error(
+            "regions[" + std::to_string(r) + "]." +
+                (spec.regions[r].pcell.has_value() ? "pcell" : "vdd"),
+            "exact_faults pins every region's fault count; remove the "
+            "per-region operating-point override (or drop exact_faults)");
+      }
+    }
+    // Per-region operating points, spec point as the fallback (unused,
+    // and not required, when exact per-region counts are pinned).
+    std::vector<region_operating_point> points;
+    points.reserve(tiered.regions.size());
+    for (std::size_t r = 0; r < spec.regions.size(); ++r) {
+      points.push_back(
+          {tiered.regions[r],
+           exact_faults_.empty()
+               ? spec.resolved_region_pcell(spec.regions[r], "hrm-quality")
+               : 0.0});
+    }
+
+    // The stored data: a seed-derived integer pattern (deterministic
+    // across platforms), or an application's quantized training set.
+    const matrix_quantizer quantizer(
+        fixed_point_codec(spec.geometry.word_bits, spec.geometry.frac_bits));
+    std::unique_ptr<application> app;
+    std::vector<word_t> words;
+    double clean_metric = 0.0;
+    if (app_name_ == "synthetic") {
+      rng data_gen = named_stream_rng(spec.seeds.app, "hrm.data");
+      words.resize(static_cast<std::size_t>(tiles_) *
+                   spec.geometry.rows_per_tile);
+      for (word_t& word : words) {
+        word = data_gen() & word_mask(spec.geometry.word_bits);
+      }
+    } else {
+      app = make_application(app_name_, spec.seeds.app);
+      words = quantizer.to_words(app->train_features());
+      clean_metric = app->evaluate(quantizer.roundtrip(app->train_features()));
+    }
+
+    // Baselines inject at the spec-level operating point; resolve it
+    // once up front so a missing point fails before any trial runs. In
+    // exact mode they draw the same total count instead (integer path).
+    const double baseline_pcell =
+        baselines.empty() || !exact_faults_.empty()
+            ? 0.0
+            : spec.resolved_pcell("hrm-quality");
+
+    campaign_runner& runner = pool.runner();
+    const std::vector<trial_result> results = runner.map<trial_result>(
+        trials_, [&](std::uint64_t /*trial*/, rng& gen) {
+          return run_trial(spec, tiered, baselines, baseline_pcell, points,
+                           quantizer, app.get(), words, gen);
+        });
+
+    // Trial-ordered reduction keeps every count (and the dyadic MSE
+    // sums) bit-identical at any thread count.
+    trial_result total;
+    total.regions.resize(tiered.regions.size());
+    total.baseline_word_errors.resize(baselines.size(), 0);
+    total.baseline_metrics.resize(baselines.size(), 0.0);
+    for (const trial_result& r : results) {
+      for (std::size_t i = 0; i < r.regions.size(); ++i) {
+        total.regions[i] += r.regions[i];
+      }
+      total.corrected_words += r.corrected_words;
+      total.uncorrectable_words += r.uncorrectable_words;
+      total.tiles += r.tiles;
+      total.metric += r.metric;
+      for (std::size_t b = 0; b < baselines.size(); ++b) {
+        total.baseline_word_errors[b] += r.baseline_word_errors[b];
+        total.baseline_metrics[b] += r.baseline_metrics[b];
+      }
+    }
+
+    return render(spec, tiered, baselines, points, total, clean_metric);
+  }
+
+ private:
+  /// Region owning data row `row`, by the spec's ordered ranges.
+  static std::size_t region_of(const std::vector<memory_region>& regions,
+                               std::uint32_t row) {
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      if (row <= regions[r].last_row) return r;
+    }
+    return regions.size() - 1;
+  }
+
+  trial_result run_trial(const scenario_spec& spec,
+                         const scheme_recipe& tiered,
+                         const std::vector<scheme_recipe>& baselines,
+                         double baseline_pcell,
+                         const std::vector<region_operating_point>& points,
+                         const matrix_quantizer& quantizer, const application* app,
+                         const std::vector<word_t>& words, rng& gen) const {
+    const std::uint32_t rows = spec.geometry.rows_per_tile;
+    const fault_injector inject =
+        exact_faults_.empty()
+            ? region_fault_injector(points, spec.fault.polarity)
+            : region_exact_fault_injector(tiered.regions, exact_faults_,
+                                          spec.fault.polarity);
+
+    trial_result result;
+    result.regions.resize(tiered.regions.size());
+    std::vector<word_t> restored(words.size());
+
+    std::size_t cursor = 0;
+    while (cursor < words.size()) {
+      const auto tile_words =
+          std::min<std::size_t>(rows, words.size() - cursor);
+      protected_memory memory(rows, tiered.factory(rows), tiered.regions);
+      fault_map faults = inject(memory.storage_geometry(), gen);
+
+      // Injected faults per region: data rows route by range, spare
+      // rows by the region-order pool layout.
+      for (const fault& f : faults.all_faults()) {
+        if (f.row < rows) {
+          result.regions[region_of(tiered.regions, f.row)].injected_faults++;
+          continue;
+        }
+        for (std::size_t r = tiered.regions.size(); r-- > 0;) {
+          if (f.row >= memory.region_spare_base(r)) {
+            result.regions[r].injected_faults++;
+            break;
+          }
+        }
+      }
+      memory.set_fault_map(std::move(faults));
+
+      const auto& remaps = memory.row_remaps();
+      for (const auto& [logical, spare] : remaps) {
+        (void)spare;
+        result.regions[region_of(tiered.regions, logical)].repaired_rows++;
+      }
+      // Residual = faults still visible through the remapped address
+      // space: faulty, unrepaired data rows — counting only columns the
+      // row's own tier stores (faults in a wider sibling's surplus
+      // columns are harmless and never reach the repair pass either).
+      const fault_map& installed = memory.array().faults();
+      for (const std::uint32_t row : installed.faulty_rows()) {
+        if (row >= rows) continue;  // spares only serve remapped rows
+        const auto it = std::lower_bound(
+            remaps.begin(), remaps.end(), row,
+            [](const auto& remap, std::uint32_t key) {
+              return remap.first < key;
+            });
+        if (it != remaps.end() && it->first == row) continue;
+        const std::size_t r = region_of(tiered.regions, row);
+        const unsigned region_bits =
+            tiered.regions[r].storage_bits == 0
+                ? memory.scheme().storage_bits()
+                : tiered.regions[r].storage_bits;
+        std::uint64_t visible = 0;
+        for (const fault& f : installed.faults_in_row(row)) {
+          if (f.col < region_bits) ++visible;
+        }
+        if (visible == 0) continue;
+        result.regions[r].residual_rows++;
+        result.regions[r].residual_faults += visible;
+      }
+
+      memory.write_block(0, std::span<const word_t>(words).subspan(cursor,
+                                                                   tile_words));
+      protected_memory::block_stats stats;
+      memory.read_block(
+          0, std::span<word_t>(restored).subspan(cursor, tile_words), &stats);
+      result.corrected_words += stats.corrected;
+      result.uncorrectable_words += stats.uncorrectable;
+
+      for (std::size_t i = 0; i < tile_words; ++i) {
+        const word_t written = words[cursor + i];
+        const word_t read = restored[cursor + i];
+        if (written == read) continue;
+        region_counts& counts = result.regions[region_of(
+            tiered.regions, static_cast<std::uint32_t>(i))];
+        counts.word_errors++;
+        counts.error_lsb_sum += written > read ? written - read : read - written;
+      }
+      for (std::size_t r = 0; r < tiered.regions.size(); ++r) {
+        result.regions[r].analytic_mse_sum += memory.analytic_mse(
+            tiered.regions[r].first_row, tiered.regions[r].last_row);
+      }
+      ++result.tiles;
+      cursor += tile_words;
+    }
+
+    if (app != nullptr) {
+      result.metric = app->evaluate(quantizer.from_words(
+          restored, app->train_features().rows(), app->train_features().cols()));
+    }
+
+    // Uniform baselines on the same trial stream, drawn after the
+    // tiered store (sequential draws keep the trial deterministic).
+    std::uint64_t exact_total = 0;
+    for (const std::uint64_t n : exact_faults_) exact_total += n;
+    for (const scheme_recipe& baseline : baselines) {
+      storage_config storage = spec.storage(baseline.spare_rows);
+      storage.regions = baseline.regions;
+      const matrix_quantizer& q = quantizer;
+      std::vector<word_t> base_restored(words.size());
+      std::size_t base_cursor = 0;
+      const fault_injector base_inject =
+          exact_faults_.empty()
+              ? binomial_fault_injector(baseline_pcell, spec.fault.polarity)
+              : exact_fault_injector(exact_total, spec.fault.polarity);
+      while (base_cursor < words.size()) {
+        const auto tile_words =
+            std::min<std::size_t>(rows, words.size() - base_cursor);
+        protected_memory memory =
+            storage.regions.empty()
+                ? protected_memory(rows, baseline.factory(rows),
+                                   storage.spare_rows_per_tile)
+                : protected_memory(rows, baseline.factory(rows),
+                                   storage.regions);
+        memory.set_fault_map(base_inject(memory.storage_geometry(), gen));
+        memory.write_block(0, std::span<const word_t>(words).subspan(
+                                  base_cursor, tile_words));
+        memory.read_block(0, std::span<word_t>(base_restored)
+                                 .subspan(base_cursor, tile_words));
+        base_cursor += tile_words;
+      }
+      std::uint64_t errors = 0;
+      for (std::size_t i = 0; i < words.size(); ++i) {
+        if (words[i] != base_restored[i]) ++errors;
+      }
+      result.baseline_word_errors.push_back(errors);
+      result.baseline_metrics.push_back(
+          app != nullptr
+              ? app->evaluate(q.from_words(base_restored,
+                                           app->train_features().rows(),
+                                           app->train_features().cols()))
+              : 0.0);
+    }
+    return result;
+  }
+
+  workload_output render(const scenario_spec& spec, const scheme_recipe& tiered,
+                         const std::vector<scheme_recipe>& baselines,
+                         const std::vector<region_operating_point>& points,
+                         const trial_result& total, double clean_metric) const {
+    std::ostringstream out;
+    out << spec.geometry.size_label() << " tiles (" << spec.geometry.rows_per_tile
+        << " x " << spec.geometry.word_bits << "), "
+        << spec.regions.size() << " reliability region(s), " << trials_
+        << " trial(s), data: " << app_name_ << ".\n"
+        << "Tiered design: " << tiered.display_name << "\n\n";
+
+    workload_output output;
+    output.trials = trials_;
+    output.json = json_value::make_object();
+    output.json.set("app", app_name_);
+    output.json.set("trials", std::uint64_t{trials_});
+    output.json.set("tiles", total.tiles);
+
+    const double tile_samples =
+        total.tiles != 0 ? static_cast<double>(total.tiles) : 1.0;
+    console_table table({"region", "scheme", "spares",
+                         exact_faults_.empty() ? "Pcell" : "faults/tile",
+                         "injected", "repaired", "residual", "word errors",
+                         "MSE (Eq. 6)"});
+    json_value region_results = json_value::make_array();
+    std::uint64_t injected = 0;
+    std::uint64_t residual = 0;
+    std::uint64_t word_errors = 0;
+    for (std::size_t r = 0; r < spec.regions.size(); ++r) {
+      const region_spec& region = spec.regions[r];
+      const region_counts& counts = total.regions[r];
+      const double mse = counts.analytic_mse_sum / tile_samples;
+      table.add_row({region.range_label(), region.scheme.name,
+                     std::to_string(tiered.regions[r].spare_rows),
+                     exact_faults_.empty()
+                         ? format_scientific(points[r].pcell, 2)
+                         : std::to_string(exact_faults_[r]),
+                     std::to_string(counts.injected_faults),
+                     std::to_string(counts.repaired_rows),
+                     std::to_string(counts.residual_faults),
+                     std::to_string(counts.word_errors),
+                     format_scientific(mse, 3)});
+      json_value entry = json_value::make_object();
+      entry.set("rows", region.range_label());
+      entry.set("scheme", region.scheme.name);
+      entry.set("spare_rows", tiered.regions[r].spare_rows);
+      if (exact_faults_.empty()) {
+        entry.set("pcell", points[r].pcell);
+      } else {
+        entry.set("exact_faults_per_tile", exact_faults_[r]);
+      }
+      entry.set("injected_faults", counts.injected_faults);
+      entry.set("repaired_rows", counts.repaired_rows);
+      entry.set("residual_rows", counts.residual_rows);
+      entry.set("residual_faults", counts.residual_faults);
+      entry.set("word_errors", counts.word_errors);
+      entry.set("error_lsb_sum", counts.error_lsb_sum);
+      entry.set("analytic_mse", mse);
+      region_results.push_back(std::move(entry));
+      injected += counts.injected_faults;
+      residual += counts.residual_faults;
+      word_errors += counts.word_errors;
+    }
+    table.print(out);
+    output.json.set("regions", std::move(region_results));
+
+    json_value totals = json_value::make_object();
+    totals.set("injected_faults", injected);
+    totals.set("residual_faults", residual);
+    totals.set("word_errors", word_errors);
+    totals.set("corrected_words", total.corrected_words);
+    totals.set("uncorrectable_words", total.uncorrectable_words);
+    output.json.set("totals", std::move(totals));
+    out << "\ntotals: " << injected << " injected, " << residual
+        << " residual after repair, " << word_errors << " corrupted words, "
+        << total.corrected_words << " ECC-corrected\n";
+
+    if (app_name_ != "synthetic") {
+      const double metric = total.metric / static_cast<double>(trials_);
+      output.json.set("clean_metric", clean_metric);
+      output.json.set("metric", metric);
+      out << "clean (quantized) metric = " << format_double(clean_metric, 4)
+          << ", tiered metric = " << format_double(metric, 4) << " ("
+          << format_double(metric / clean_metric, 4) << " normalized)\n";
+    }
+
+    if (!baselines.empty()) {
+      out << "\nuniform baselines (same trial streams, spec operating point):\n";
+      console_table baseline_table(
+          app_name_ != "synthetic"
+              ? std::vector<std::string>{"scheme", "word errors", "metric"}
+              : std::vector<std::string>{"scheme", "word errors"});
+      json_value baseline_results = json_value::make_array();
+      for (std::size_t b = 0; b < baselines.size(); ++b) {
+        json_value entry = json_value::make_object();
+        entry.set("name", baselines[b].display_name);
+        entry.set("word_errors", total.baseline_word_errors[b]);
+        std::vector<std::string> row{baselines[b].display_name,
+                                     std::to_string(
+                                         total.baseline_word_errors[b])};
+        if (app_name_ != "synthetic") {
+          const double metric =
+              total.baseline_metrics[b] / static_cast<double>(trials_);
+          entry.set("metric", metric);
+          row.push_back(format_double(metric, 4));
+        }
+        baseline_table.add_row(std::move(row));
+        baseline_results.push_back(std::move(entry));
+      }
+      baseline_table.print(out);
+      output.json.set("baselines", std::move(baseline_results));
+    }
+
+    output.text = out.str();
+    return output;
+  }
+
+  std::string app_name_;
+  std::uint32_t trials_;
+  std::uint32_t tiles_;
+  std::vector<std::uint64_t> exact_faults_;  ///< empty = binomial injection
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_hrm_workloads(workload_registry& registry) {
+  registry.add(
+      "hrm-quality",
+      "per-region residual-fault + quality breakdown of a tiered design",
+      "app=synthetic trials=1 tiles=1 exact_faults=",
+      [](const option_map& options) {
+        return std::make_unique<hrm_workload>(options);
+      });
+}
+
+}  // namespace detail
+
+}  // namespace urmem

@@ -21,20 +21,57 @@
 
 namespace urmem {
 
+/// One reliability region of a tile: an inclusive logical row range
+/// with its own spare-row pool. Regions must be ordered and tile the
+/// logical rows exactly; each region's spares are manufactured after
+/// the data rows, grouped in region order, and its repair pass only
+/// draws from its own pool (a faulty MSB-critical region cannot steal
+/// the tolerant tail's spares).
+struct memory_region {
+  std::uint32_t first_row = 0;
+  std::uint32_t last_row = 0;  ///< inclusive
+  std::uint32_t spare_rows = 0;
+  /// Columns this region's scheme actually stores; 0 = the full array
+  /// width. A heterogeneous tile is manufactured at the widest tier's
+  /// width, so a narrower region's surplus columns hold no data —
+  /// faults there are harmless, and the region's repair pass must not
+  /// burn a spare on (or disqualify a spare for) such a fault.
+  unsigned storage_bits = 0;
+
+  [[nodiscard]] std::uint32_t rows() const { return last_row - first_row + 1; }
+};
+
 /// Scheme-protected unreliable memory of `rows` words.
 class protected_memory {
  public:
   /// Fault-free memory; inject faults later with set_fault_map().
   /// `spare_rows` extra physical rows back the redundancy repair (0 =
-  /// no repair stage, the paper's default).
+  /// no repair stage, the paper's default); this is the homogeneous
+  /// one-region special case of the region constructor.
   protected_memory(std::uint32_t rows, std::unique_ptr<protection_scheme> scheme,
                    std::uint32_t spare_rows = 0);
 
+  /// Heterogeneous-reliability tile: `regions` must tile [0, rows)
+  /// exactly (ordered, gap-free); each region owns its spare pool.
+  protected_memory(std::uint32_t rows, std::unique_ptr<protection_scheme> scheme,
+                   std::vector<memory_region> regions);
+
   /// Logical (addressable) rows; spares are not directly addressable.
   [[nodiscard]] std::uint32_t rows() const { return logical_rows_; }
+  /// Total manufactured spares (summed over regions).
   [[nodiscard]] std::uint32_t spare_rows() const { return spare_rows_; }
   [[nodiscard]] const protection_scheme& scheme() const { return *scheme_; }
   [[nodiscard]] const sram_array& array() const { return array_; }
+
+  /// The region table (always non-empty; the legacy constructor makes
+  /// one region spanning every row).
+  [[nodiscard]] const std::vector<memory_region>& regions() const {
+    return regions_;
+  }
+
+  /// First physical row of region `index`'s spare pool (its spares are
+  /// the `regions()[index].spare_rows` rows from there).
+  [[nodiscard]] std::uint32_t region_spare_base(std::size_t index) const;
 
   /// Manufactured storage geometry (data + spare rows x storage_bits)
   /// the fault maps must use.
@@ -42,10 +79,12 @@ class protected_memory {
     return array_.geometry();
   }
 
-  /// Installs a fault map (geometry = storage_geometry()), runs the
-  /// spare-row repair when spares exist, and lets the scheme
-  /// reconfigure itself from the (post-repair) faults, the way a BIST +
-  /// fuse + BIST flow would.
+  /// Installs a fault map (geometry = storage_geometry()), runs each
+  /// region's spare-row repair when that region has spares, and lets
+  /// the scheme reconfigure itself from the (post-repair) faults, the
+  /// way a BIST + fuse + BIST flow would. A fault-free map short-
+  /// circuits the repair pass entirely: row_remaps() stays empty and no
+  /// repair engine runs.
   void set_fault_map(fault_map faults);
 
   /// (logical row -> spare row) assignments of the last repair.
@@ -92,6 +131,11 @@ class protected_memory {
   /// evaluated over all rows: (1/R) * sum_i (2^{b_i})^2.
   [[nodiscard]] double analytic_mse() const;
 
+  /// Analytic MSE restricted to logical rows [first, last] (inclusive),
+  /// normalized by that range's row count — the per-region residual
+  /// breakdown of the heterogeneous-reliability reports.
+  [[nodiscard]] double analytic_mse(std::uint32_t first, std::uint32_t last) const;
+
  private:
   /// Physical row serving logical `row` (identity unless remapped).
   [[nodiscard]] std::uint32_t physical_row(std::uint32_t row) const;
@@ -99,6 +143,9 @@ class protected_memory {
   std::unique_ptr<protection_scheme> scheme_;
   std::uint32_t logical_rows_;
   std::uint32_t spare_rows_;
+  std::vector<memory_region> regions_;
+  /// Physical first spare row per region (prefix layout, region order).
+  std::vector<std::uint32_t> spare_bases_;
   sram_array array_;
   /// Sorted (logical row -> spare row) remaps; empty without repair.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> remaps_;

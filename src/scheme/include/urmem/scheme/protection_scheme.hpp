@@ -122,6 +122,21 @@ class protection_scheme {
   /// stage's fault columns.
   virtual void residual_fault_bits(std::span<const std::uint32_t> fault_cols,
                                    std::vector<std::uint32_t>& out) const = 0;
+
+  /// Row-addressed variants of the Eq. (6) hooks. Homogeneous schemes
+  /// protect every row identically, so the defaults ignore `row`; the
+  /// heterogeneous tiered_scheme overrides them to charge each row at
+  /// its own tier. The MSE machinery (sample_mse, analytic_mse) walks
+  /// faults row by row anyway and routes through these.
+  [[nodiscard]] virtual double worst_case_row_cost_at(
+      std::uint32_t /*row*/, std::span<const std::uint32_t> fault_cols) const {
+    return worst_case_row_cost(fault_cols);
+  }
+  virtual void residual_fault_bits_at(std::uint32_t /*row*/,
+                                      std::span<const std::uint32_t> fault_cols,
+                                      std::vector<std::uint32_t>& out) const {
+    residual_fault_bits(fault_cols, out);
+  }
 };
 
 /// Pass-through scheme: the unprotected memory of the paper's baselines.

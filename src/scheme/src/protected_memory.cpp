@@ -8,31 +8,126 @@
 
 namespace urmem {
 
+namespace {
+
+std::uint32_t total_spares(const std::vector<memory_region>& regions) {
+  std::uint32_t total = 0;
+  for (const memory_region& region : regions) total += region.spare_rows;
+  return total;
+}
+
+}  // namespace
+
 protected_memory::protected_memory(std::uint32_t rows,
                                    std::unique_ptr<protection_scheme> scheme,
                                    std::uint32_t spare_rows)
+    : protected_memory(rows, std::move(scheme),
+                       std::vector<memory_region>{
+                           memory_region{0, rows > 0 ? rows - 1 : 0,
+                                         spare_rows}}) {}
+
+protected_memory::protected_memory(std::uint32_t rows,
+                                   std::unique_ptr<protection_scheme> scheme,
+                                   std::vector<memory_region> regions)
     : scheme_(std::move(scheme)),
       logical_rows_(rows),
-      spare_rows_(spare_rows),
-      array_(array_geometry{rows + spare_rows, scheme_->storage_bits()}) {
+      spare_rows_(total_spares(regions)),
+      regions_(std::move(regions)),
+      array_(array_geometry{rows + spare_rows_, scheme_->storage_bits()}) {
   expects(scheme_ != nullptr, "protected_memory requires a scheme");
+  expects(rows >= 1, "protected_memory needs at least one row");
+  expects(!regions_.empty(), "protected_memory needs at least one region");
+  // Regions must tile the logical rows exactly; spares are manufactured
+  // after the data rows, grouped per region in region order.
+  std::uint32_t next = 0;
+  std::uint32_t spare_base = rows;
+  spare_bases_.reserve(regions_.size());
+  for (const memory_region& region : regions_) {
+    expects(region.first_row == next && region.last_row >= region.first_row,
+            "regions must be ordered, gap-free and ascending");
+    spare_bases_.push_back(spare_base);
+    spare_base += region.spare_rows;
+    next = region.last_row + 1;
+  }
+  expects(next == rows, "regions must cover the logical rows exactly");
+}
+
+std::uint32_t protected_memory::region_spare_base(std::size_t index) const {
+  expects(index < regions_.size(), "region index out of range");
+  return spare_bases_[index];
 }
 
 void protected_memory::set_fault_map(fault_map faults) {
   expects(faults.geometry() == storage_geometry(), "fault map geometry mismatch");
   remaps_.clear();
+  const unsigned width = scheme_->storage_bits();
   if (spare_rows_ == 0) {
     scheme_->configure(faults);
-  } else {
-    // Fuse stage first: remap faulty data rows onto fault-free spares,
-    // then let the scheme program itself from what repair left behind
-    // (the post-repair BIST pass of a real redundancy + mitigation flow).
-    const row_redundancy_repair repair_engine(logical_rows_, spare_rows_,
-                                              scheme_->storage_bits());
-    repair_result repaired = repair_engine.repair(faults);
-    remaps_ = std::move(repaired.remaps);
-    scheme_->configure(repaired.residual);
+    array_.set_faults(std::move(faults));
+    return;
   }
+  if (faults.fault_count() == 0) {
+    // Fault-free manufacture: nothing to fuse, so skip the repair pass
+    // (and its per-region map shuffling) outright — the scheme still
+    // reprograms itself from the clean map, as a real BIST would report.
+    scheme_->configure(fault_map(array_geometry{logical_rows_, width}));
+    array_.set_faults(std::move(faults));
+    return;
+  }
+  // Fuse stage first, one pass per region: remap the region's faulty
+  // data rows onto its own fault-free spares, then let the scheme
+  // program itself from what repair left behind (the post-repair BIST
+  // pass of a real redundancy + mitigation flow).
+  fault_map residual(array_geometry{logical_rows_, width});
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    const memory_region& region = regions_[r];
+    const std::uint32_t spare_base = spare_bases_[r];
+    // Faults in columns beyond the region's own storage width sit in
+    // cells the region never drives (they exist only because a wider
+    // sibling tier dictates the manufactured width): the region's BIST
+    // would never see them, so repair and residual both skip them.
+    const unsigned region_bits =
+        region.storage_bits == 0 ? width : region.storage_bits;
+    if (region.spare_rows == 0) {
+      // No pool: the region's (data-visible) faults stay as-is.
+      for (std::uint32_t row = region.first_row; row <= region.last_row; ++row) {
+        if (!faults.row_has_faults(row)) continue;
+        for (const fault& f : faults.faults_in_row(row)) {
+          if (f.col < region_bits) residual.add(f);
+        }
+      }
+      continue;
+    }
+    // Rebase the region (data rows, then its spares) into the compact
+    // geometry the repair engine expects.
+    const std::uint32_t region_rows = region.rows();
+    fault_map sub(array_geometry{region_rows + region.spare_rows, width});
+    for (std::uint32_t row = region.first_row; row <= region.last_row; ++row) {
+      if (!faults.row_has_faults(row)) continue;
+      for (const fault& f : faults.faults_in_row(row)) {
+        if (f.col < region_bits) sub.add({f.row - region.first_row, f.col, f.kind});
+      }
+    }
+    for (std::uint32_t s = 0; s < region.spare_rows; ++s) {
+      if (!faults.row_has_faults(spare_base + s)) continue;
+      for (const fault& f : faults.faults_in_row(spare_base + s)) {
+        if (f.col < region_bits) sub.add({region_rows + s, f.col, f.kind});
+      }
+    }
+    const row_redundancy_repair repair_engine(region_rows, region.spare_rows,
+                                              width);
+    const repair_result repaired = repair_engine.repair(sub);
+    for (const auto& [logical, spare] : repaired.remaps) {
+      remaps_.emplace_back(region.first_row + logical,
+                           spare_base + (spare - region_rows));
+    }
+    for (const fault& f : repaired.residual.all_faults()) {
+      residual.add({region.first_row + f.row, f.col, f.kind});
+    }
+  }
+  // Region order is ascending-row order, so remaps_ is already sorted
+  // the way physical_row's binary search needs.
+  scheme_->configure(residual);
   array_.set_faults(std::move(faults));
 }
 
@@ -127,6 +222,13 @@ void protected_memory::read_block(std::uint32_t first, std::span<word_t> out,
 }
 
 double protected_memory::analytic_mse() const {
+  return analytic_mse(0, logical_rows_ - 1);
+}
+
+double protected_memory::analytic_mse(std::uint32_t first,
+                                      std::uint32_t last) const {
+  expects(first <= last && last < logical_rows_,
+          "analytic_mse range must lie in the logical rows");
   const fault_map& faults = array_.faults();
   // Hoisted column scratch — analytic_mse runs once per sampled map in
   // the yield sweeps, and a fresh vector per faulty row adds an
@@ -137,12 +239,12 @@ double protected_memory::analytic_mse() const {
     // Spares only serve remapped rows (and repair picks fault-free
     // spares), so faulty spares and retired (remapped) data rows both
     // contribute nothing to the visible address space.
-    if (row >= logical_rows_ || physical_row(row) != row) continue;
+    if (row < first || row > last || physical_row(row) != row) continue;
     cols.clear();
     for (const fault& f : faults.faults_in_row(row)) cols.push_back(f.col);
-    total += scheme_->worst_case_row_cost(cols);
+    total += scheme_->worst_case_row_cost_at(row, cols);
   }
-  return total / static_cast<double>(rows());
+  return total / static_cast<double>(last - first + 1);
 }
 
 }  // namespace urmem

@@ -35,6 +35,11 @@ struct storage_config {
   /// spares are injected with faults like every other row — see
   /// protected_memory).
   std::uint32_t spare_rows_per_tile = 0;
+  /// Heterogeneous-reliability region table applied to every tile
+  /// (ordered, covering [0, rows_per_tile) exactly; each region owns
+  /// its spare pool). Empty = homogeneous tile; when set it replaces
+  /// spare_rows_per_tile, which must then be 0.
+  std::vector<memory_region> regions;
 };
 
 /// Statistics of one store/readback pass.
@@ -66,5 +71,29 @@ struct pipeline_stats {
 
 /// Injector producing fault-free tiles (quantization-only baseline).
 [[nodiscard]] fault_injector no_fault_injector();
+
+/// One region's fault operating point for region_fault_injector.
+struct region_operating_point {
+  memory_region region;
+  double pcell = 0.0;  ///< cell failure probability of this region's cells
+};
+
+/// Injector drawing Binomial(cells, pcell) faults independently per
+/// region at that region's own Pcell — over its data rows AND its spare
+/// pool (spares are manufactured in the same corner as the rows they
+/// back). `points` must tile the data rows in order; the tile geometry
+/// handed to the injector must equal data rows + total spares, with
+/// spares laid out per protected_memory's region-order convention.
+[[nodiscard]] fault_injector region_fault_injector(
+    std::vector<region_operating_point> points,
+    fault_polarity polarity = fault_polarity::flip);
+
+/// Integer-deterministic variant of region_fault_injector: exactly
+/// `counts[r]` faults, uniform over region r's cells (data rows + its
+/// spares). Pure integer sampling, so golden runs are bit-identical
+/// across platforms (binomial draws go through libm and are not).
+[[nodiscard]] fault_injector region_exact_fault_injector(
+    std::vector<memory_region> regions, std::vector<std::uint64_t> counts,
+    fault_polarity polarity = fault_polarity::flip);
 
 }  // namespace urmem

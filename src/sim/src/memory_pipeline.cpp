@@ -16,6 +16,8 @@ matrix store_and_readback(const matrix& input, const storage_config& config,
       fixed_point_codec(config.word_bits, config.frac_bits));
   const std::vector<word_t> words = quantizer.to_words(input);
 
+  expects(config.regions.empty() || config.spare_rows_per_tile == 0,
+          "a region table replaces spare_rows_per_tile");
   std::vector<word_t> restored(words.size());
   pipeline_stats local;
   std::size_t cursor = 0;
@@ -26,8 +28,12 @@ matrix store_and_readback(const matrix& input, const storage_config& config,
     expects(scheme != nullptr, "scheme factory returned null");
     expects(scheme->data_bits() == config.word_bits,
             "scheme word width must match the storage config");
-    protected_memory memory(config.rows_per_tile, std::move(scheme),
-                            config.spare_rows_per_tile);
+    protected_memory memory =
+        config.regions.empty()
+            ? protected_memory(config.rows_per_tile, std::move(scheme),
+                               config.spare_rows_per_tile)
+            : protected_memory(config.rows_per_tile, std::move(scheme),
+                               config.regions);
 
     fault_map faults = inject(memory.storage_geometry(), gen);
     local.injected_faults += faults.fault_count();
@@ -65,6 +71,89 @@ fault_injector binomial_fault_injector(double pcell, fault_polarity polarity) {
 
 fault_injector no_fault_injector() {
   return [](const array_geometry& geometry, rng&) { return fault_map(geometry); };
+}
+
+namespace {
+
+/// Rebases one region's sub-map (data rows, then its spares) into the
+/// tile map using protected_memory's region-order spare layout.
+void merge_region_faults(fault_map& tile, const fault_map& drawn,
+                         const memory_region& region,
+                         std::uint32_t spare_base) {
+  for (const fault& f : drawn.all_faults()) {
+    const bool is_spare = f.row >= region.rows();
+    const std::uint32_t row = is_spare ? spare_base + (f.row - region.rows())
+                                       : region.first_row + f.row;
+    tile.add({row, f.col, f.kind});
+  }
+}
+
+std::uint32_t checked_region_tile_rows(const std::vector<memory_region>& regions,
+                                       const array_geometry& geometry) {
+  std::uint32_t data_rows = 0;
+  std::uint32_t spares = 0;
+  for (const memory_region& region : regions) {
+    data_rows += region.rows();
+    spares += region.spare_rows;
+  }
+  expects(geometry.rows == data_rows + spares,
+          "tile geometry must match the region table (data + spares)");
+  return data_rows;
+}
+
+}  // namespace
+
+fault_injector region_fault_injector(std::vector<region_operating_point> points,
+                                     fault_polarity polarity) {
+  expects(!points.empty(), "region injector needs at least one region");
+  return [points = std::move(points),
+          polarity](const array_geometry& geometry, rng& gen) {
+    std::vector<memory_region> regions;
+    regions.reserve(points.size());
+    for (const region_operating_point& point : points) {
+      regions.push_back(point.region);
+    }
+    std::uint32_t spare_base = checked_region_tile_rows(regions, geometry);
+    fault_map faults(geometry);
+    // Regions draw in table order on the shared trial stream, so the
+    // map is deterministic for a fixed seed regardless of scheduling.
+    for (const region_operating_point& point : points) {
+      const array_geometry sub{point.region.rows() + point.region.spare_rows,
+                               geometry.width};
+      const binomial_distribution dist(sub.cells(), point.pcell);
+      merge_region_faults(faults,
+                          sample_fault_map_binomial(sub, dist, gen, polarity),
+                          point.region, spare_base);
+      spare_base += point.region.spare_rows;
+    }
+    return faults;
+  };
+}
+
+fault_injector region_exact_fault_injector(std::vector<memory_region> regions,
+                                           std::vector<std::uint64_t> counts,
+                                           fault_polarity polarity) {
+  expects(!regions.empty(), "region injector needs at least one region");
+  expects(regions.size() == counts.size(),
+          "need exactly one fault count per region");
+  return [regions = std::move(regions), counts = std::move(counts),
+          polarity](const array_geometry& geometry, rng& gen) {
+    std::uint32_t spare_base = checked_region_tile_rows(regions, geometry);
+    fault_map faults(geometry);
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      const array_geometry sub{regions[r].rows() + regions[r].spare_rows,
+                               geometry.width};
+      // "Exactly counts[r]" is the contract; silently clamping would
+      // let reports claim counts that were never injected.
+      expects(counts[r] <= sub.cells(),
+              "exact region fault count exceeds the region's cells");
+      merge_region_faults(faults,
+                          sample_fault_map_exact(sub, counts[r], gen, polarity),
+                          regions[r], spare_base);
+      spare_base += regions[r].spare_rows;
+    }
+    return faults;
+  };
 }
 
 }  // namespace urmem

@@ -52,7 +52,12 @@ TEST(SchemeRegistry, EveryBuiltinNameResolves) {
   const geometry_spec geometry;
   for (const auto& info : scheme_registry::instance().list()) {
     if (info.name.starts_with("test-")) continue;
-    const scheme_ref ref{info.name, option_map("schemes[0]")};
+    scheme_ref ref{info.name, option_map("schemes[0]")};
+    if (info.name == "tiered") {
+      // The combinator has no default tier table; give it a minimal one.
+      ref.options.set("0-" + std::to_string(geometry.rows_per_tile - 1),
+                      "secded");
+    }
     const scheme_recipe recipe =
         scheme_registry::instance().make(ref, geometry);
     EXPECT_FALSE(recipe.display_name.empty()) << info.name;
@@ -162,7 +167,7 @@ TEST(ScenarioSpec, OutOfRangeValueNamesTheField) {
     FAIL() << "expected spec_error";
   } catch (const spec_error& error) {
     EXPECT_EQ(error.field(), "fault.pcell");
-    EXPECT_NE(std::string(error.what()).find("(0, 1)"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("[0, 1)"), std::string::npos);
   }
 }
 
@@ -207,7 +212,7 @@ TEST(ScenarioSpec, CliOverridesLandOnDottedPaths) {
   const scenario_spec spec = scenario_spec::from_json(doc);
   EXPECT_EQ(spec.run.threads, 4u);
   EXPECT_EQ(spec.seeds.root, 9u);
-  EXPECT_DOUBLE_EQ(spec.fault.pcell, 1e-4);
+  EXPECT_DOUBLE_EQ(spec.fault.pcell.value(), 1e-4);
   ASSERT_EQ(spec.schemes.size(), 2u);
   EXPECT_EQ(spec.schemes[1].name, "shuffle");
   EXPECT_EQ(spec.workload.name, "fig5-mse");
@@ -215,6 +220,195 @@ TEST(ScenarioSpec, CliOverridesLandOnDottedPaths) {
   EXPECT_EQ(spec.workload.options.get_u64("nmax", 0), 12u);
   ASSERT_EQ(spec.sweep.size(), 1u);
   EXPECT_EQ(spec.sweep[0].param, "fault.pcell");
+}
+
+// --------------------------------------------- regions (HRM tiers) layer
+
+constexpr const char* kRegionSpec = R"json({
+  "name": "tiers",
+  "geometry": {"rows_per_tile": 128},
+  "fault": {"pcell": 1e-3},
+  "schemes": ["secded"],
+  "regions": [
+    {"rows": "0-31", "scheme": "secded", "spare_rows": 4, "pcell": 1e-4},
+    {"rows": "32-127", "scheme": {"name": "shuffle", "nfm": 2}, "vdd": 0.7}
+  ],
+  "workload": {"name": "hrm-quality", "trials": 1}
+})json";
+
+TEST(ScenarioSpec, RegionsRoundTripStably) {
+  const scenario_spec spec = scenario_spec::parse_text(kRegionSpec);
+  ASSERT_EQ(spec.regions.size(), 2u);
+  EXPECT_EQ(spec.regions[0].first_row, 0u);
+  EXPECT_EQ(spec.regions[0].last_row, 31u);
+  EXPECT_EQ(spec.regions[0].spare_rows, 4u);
+  EXPECT_DOUBLE_EQ(spec.regions[0].pcell.value(), 1e-4);
+  EXPECT_FALSE(spec.regions[0].vdd.has_value());
+  EXPECT_EQ(spec.regions[1].scheme.name, "shuffle");
+  EXPECT_DOUBLE_EQ(spec.regions[1].vdd.value(), 0.7);
+
+  const json_value first = spec.to_json();
+  const scenario_spec reparsed = scenario_spec::from_json(first);
+  EXPECT_EQ(first.dump(), reparsed.to_json().dump());
+
+  // The per-region operating point resolves region-first, spec second.
+  EXPECT_DOUBLE_EQ(spec.resolved_region_pcell(spec.regions[0], "t"), 1e-4);
+  EXPECT_NEAR(spec.resolved_region_pcell(spec.regions[1], "t"),
+              spec.failure_model().pcell(0.7), 1e-12);
+}
+
+TEST(ScenarioSpec, RegionTableRejectionsNameTheRegion) {
+  const auto expect_field = [](const char* text, std::string_view field) {
+    try {
+      (void)scenario_spec::parse_text(text);
+      FAIL() << "expected spec_error for " << text;
+    } catch (const spec_error& error) {
+      EXPECT_EQ(error.field(), field) << error.what();
+    }
+  };
+  // Gap between regions.
+  expect_field(R"({"geometry": {"rows_per_tile": 64}, "regions": [
+      {"rows": "0-15", "scheme": "none"},
+      {"rows": "32-63", "scheme": "none"}]})",
+               "regions[1].rows");
+  // Overlapping / duplicate ranges.
+  expect_field(R"({"geometry": {"rows_per_tile": 64}, "regions": [
+      {"rows": "0-31", "scheme": "none"},
+      {"rows": "16-63", "scheme": "none"}]})",
+               "regions[1].rows");
+  expect_field(R"({"geometry": {"rows_per_tile": 64}, "regions": [
+      {"rows": "0-31", "scheme": "none"},
+      {"rows": "0-31", "scheme": "none"}]})",
+               "regions[1].rows");
+  // Table must cover the whole tile.
+  expect_field(R"({"geometry": {"rows_per_tile": 64}, "regions": [
+      {"rows": "0-31", "scheme": "none"}]})",
+               "regions[0].rows");
+  // Range past the tile edge.
+  expect_field(R"({"geometry": {"rows_per_tile": 64}, "regions": [
+      {"rows": "0-64", "scheme": "none"}]})",
+               "regions[0].rows");
+  // Missing scheme and unknown members are named too.
+  expect_field(R"({"geometry": {"rows_per_tile": 64}, "regions": [
+      {"rows": "0-63"}]})",
+               "regions[0].scheme");
+  expect_field(R"({"geometry": {"rows_per_tile": 64}, "regions": [
+      {"rows": "0-63", "scheme": "none", "sparse_rows": 2}]})",
+               "regions[0].sparse_rows");
+}
+
+TEST(ScenarioSpec, TieredCompactFormResolvesThroughTheRegistry) {
+  geometry_spec geometry;
+  geometry.rows_per_tile = 64;
+  scheme_ref ref{"tiered", option_map("schemes[0]")};
+  ref.options.set("0-15", "secded,spare_rows=2");
+  ref.options.set("16-63", "shuffle,nfm=2");
+  const scheme_recipe recipe = scheme_registry::instance().make(ref, geometry);
+  EXPECT_EQ(recipe.display_name, "tiered[0-15:H(39,32) ECC|16-63:nFM=2]");
+  ASSERT_EQ(recipe.regions.size(), 2u);
+  EXPECT_EQ(recipe.regions[0].spare_rows, 2u);
+  EXPECT_EQ(recipe.total_spare_rows(), 2u);
+
+  // Bad tier tables blame the range option of the scheme entry.
+  scheme_ref gap{"tiered", option_map("schemes[1]")};
+  gap.options.set("0-15", "secded");
+  try {
+    (void)scheme_registry::instance().make(gap, geometry);
+    FAIL() << "expected spec_error";
+  } catch (const spec_error& error) {
+    EXPECT_EQ(error.field(), "schemes[1].0-15");
+  }
+}
+
+TEST(ScenarioSpec, RegionCliOverridesBuildAndPatchTheTable) {
+  json_value doc = json_value::make_object();
+  apply_spec_override(doc, "rows", "128");
+  apply_spec_override(doc, "regions",
+                      "0-31=secded,spare_rows=4:32-127=shuffle,nfm=2");
+  apply_spec_override(doc, "regions.0-31.pcell", "1e-4");
+  const scenario_spec spec = scenario_spec::from_json(doc);
+  ASSERT_EQ(spec.regions.size(), 2u);
+  EXPECT_EQ(spec.regions[0].scheme.name, "secded");
+  EXPECT_EQ(spec.regions[0].spare_rows, 4u);
+  EXPECT_DOUBLE_EQ(spec.regions[0].pcell.value(), 1e-4);
+  EXPECT_EQ(spec.regions[1].scheme.name, "shuffle");
+  EXPECT_EQ(spec.regions[1].scheme.options.get_u32("nfm", 0), 2u);
+
+  // regions= with an empty value clears the table again.
+  apply_spec_override(doc, "regions", "");
+  EXPECT_TRUE(scenario_spec::from_json(doc).regions.empty());
+}
+
+TEST(ScenarioSpec, SchemesOverrideKeepsTieredSubOptionsTogether) {
+  // The schemes= list splits on commas, but a tiered entry's sub-scheme
+  // options use commas too; items whose name token carries '=' re-join
+  // the entry they were split from.
+  json_value doc = json_value::make_object();
+  apply_spec_override(
+      doc, "schemes",
+      "secded,tiered:0-99=secded,spare_rows=2:100-4095=shuffle,nfm=2");
+  const scenario_spec spec = scenario_spec::from_json(doc);
+  ASSERT_EQ(spec.schemes.size(), 2u);
+  EXPECT_EQ(spec.schemes[0].name, "secded");
+  EXPECT_EQ(spec.schemes[1].name, "tiered");
+  const scheme_recipe recipe =
+      scheme_registry::instance().make(spec.schemes[1], spec.geometry);
+  ASSERT_EQ(recipe.regions.size(), 2u);
+  EXPECT_EQ(recipe.regions[0].spare_rows, 2u);
+  EXPECT_EQ(recipe.display_name, "tiered[0-99:H(39,32) ECC|100-4095:nFM=2]");
+}
+
+// ----------------------------------------------- fault operating point
+
+TEST(ScenarioSpec, PcellZeroIsAFaultFreePointNotUnset) {
+  // Explicit 0 round-trips as an explicit 0 ...
+  const scenario_spec zero =
+      scenario_spec::parse_text(R"({"fault": {"pcell": 0}})");
+  ASSERT_TRUE(zero.fault.pcell.has_value());
+  EXPECT_DOUBLE_EQ(zero.resolved_pcell("test"), 0.0);
+  const scenario_spec reparsed = scenario_spec::from_json(zero.to_json());
+  ASSERT_TRUE(reparsed.fault.pcell.has_value());
+  EXPECT_DOUBLE_EQ(reparsed.resolved_pcell("test"), 0.0);
+
+  // ... and injects exactly zero faults.
+  const fault_injector inject = binomial_fault_injector(0.0);
+  rng gen(5);
+  EXPECT_EQ(inject(array_geometry{256, 32}, gen).fault_count(), 0u);
+
+  // An absent pcell still means unset (and must stay absent on dump).
+  const scenario_spec unset = scenario_spec::parse_text(R"({"name": "x"})");
+  EXPECT_FALSE(unset.fault.pcell.has_value());
+  EXPECT_EQ(unset.to_json().find("fault")->find("pcell"), nullptr);
+  EXPECT_THROW((void)unset.resolved_pcell("test"), spec_error);
+}
+
+// --------------------------------------------- parse-time sweep checks
+
+TEST(ScenarioSpec, SweepPathsValidateAtParseTime) {
+  // A misspelled axis path fails from_json (not the first grid point).
+  try {
+    (void)scenario_spec::parse_text(R"({"workload": "bist-march",
+        "sweep": [{"param": "fault.pcellx", "values": [1e-4]}]})");
+    FAIL() << "expected spec_error";
+  } catch (const spec_error& error) {
+    EXPECT_EQ(error.field(), "sweep[0]");
+    EXPECT_NE(std::string(error.what()).find("fault.pcellx"),
+              std::string::npos);
+  }
+  // So does an out-of-range axis value.
+  try {
+    (void)scenario_spec::parse_text(R"({"workload": "bist-march",
+        "sweep": [{"param": "fault.pcell", "values": [1e-4, 1.5]}]})");
+    FAIL() << "expected spec_error";
+  } catch (const spec_error& error) {
+    EXPECT_EQ(error.field(), "sweep[0]");
+    EXPECT_NE(std::string(error.what()).find("1.5"), std::string::npos);
+  }
+  // Valid axes still parse.
+  const scenario_spec spec = scenario_spec::parse_text(R"({"workload":
+      "bist-march", "sweep": [{"param": "fault.pcell",
+      "values": [1e-4, 1e-3]}]})");
+  EXPECT_EQ(spec.sweep.size(), 1u);
 }
 
 // ------------------------------------------------------------ json layer

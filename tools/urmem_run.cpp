@@ -19,6 +19,8 @@
 //
 // Flags: --list-schemes --list-workloads --print-spec --out=FILE --help
 // Override shorthands: seed, threads, batch, pcell, vdd, polarity, rows
+// Region overrides: regions=<range>=<scheme,...>:<range>=... and
+// regions.<range>.<key>=value (see scenario_spec.hpp).
 // (see scenario_spec.hpp for the schema).
 #include <fstream>
 #include <iostream>
