@@ -29,7 +29,9 @@
 #include "bench_util.hpp"
 #include "urmem/common/contracts.hpp"
 #include "urmem/common/rng.hpp"
+#include "urmem/ecc/bch.hpp"
 #include "urmem/ecc/hamming_secded.hpp"
+#include "urmem/ecc/hsiao.hpp"
 #include "urmem/ecc/priority_ecc.hpp"
 #include "urmem/memory/fault_sampler.hpp"
 #include "urmem/scheme/protection_scheme.hpp"
@@ -49,41 +51,46 @@ std::vector<word_t> random_words(std::uint64_t seed, std::size_t count,
   return out;
 }
 
-// LUT-compiled hamming_secded == per-bit reference, over data words and
+// LUT-compiled codec == per-bit reference, over data words and
 // corrupted codewords (clean, every single flip, every double flip).
-bool verify_secded_lut(unsigned data_bits, std::uint64_t seed) {
-  const hamming_secded code(data_bits);
+// hamming_secded, hsiao_code and bch_code share this surface, so one
+// template verifies all three families.
+template <class Code>
+bool verify_codec_lut(const char* label, const Code& code,
+                      std::uint64_t wide_samples, std::uint64_t seed) {
+  const unsigned data_bits = code.data_bits();
   const bool exhaustive = data_bits <= 16;
   const std::uint64_t samples =
-      exhaustive ? (word_t{1} << data_bits) : 20000;
+      exhaustive ? (word_t{1} << data_bits) : wide_samples;
   rng gen(seed);
   for (std::uint64_t i = 0; i < samples; ++i) {
     const word_t data =
         exhaustive ? i : (gen() & word_mask(data_bits));
     const word_t cw = code.encode(data);
     if (cw != code.encode_reference(data)) {
-      std::cerr << "LUT/REFERENCE ENCODE MISMATCH d=" << data_bits
-                << " data=" << data << "\n";
+      std::cerr << "LUT/REFERENCE ENCODE MISMATCH " << label
+                << " d=" << data_bits << " data=" << data << "\n";
       return false;
     }
     if (code.extract_data(cw) != data) {
-      std::cerr << "EXTRACT MISMATCH d=" << data_bits << " data=" << data
-                << "\n";
+      std::cerr << "EXTRACT MISMATCH " << label << " d=" << data_bits
+                << " data=" << data << "\n";
       return false;
     }
     // Full error-pattern sweep on a thinned subset (every word for the
     // byte-wide code, every 64th sample otherwise) keeps the sweep
     // O(n^2) only where it is cheap.
-    const bool sweep = exhaustive ? (data_bits <= 8 || i % 16 == 0)
-                                  : i % 64 == 0;
+    const bool sweep = exhaustive ? (data_bits <= 8 || i % 64 == 0)
+                                  : i % 256 == 0;
     const unsigned n = code.codeword_bits();
     for (unsigned a = 0; sweep && a < n; ++a) {
       const word_t one = flip_bit(cw, a);
       const ecc_decode_result fast1 = code.decode(one);
       const ecc_decode_result ref1 = code.decode_reference(one);
       if (fast1.data != ref1.data || fast1.status != ref1.status) {
-        std::cerr << "DECODE MISMATCH (1-bit) d=" << data_bits
-                  << " data=" << data << " a=" << a << "\n";
+        std::cerr << "DECODE MISMATCH (1-bit) " << label
+                  << " d=" << data_bits << " data=" << data << " a=" << a
+                  << "\n";
         return false;
       }
       for (unsigned b = a + 1; b < n; ++b) {
@@ -91,8 +98,9 @@ bool verify_secded_lut(unsigned data_bits, std::uint64_t seed) {
         const ecc_decode_result fast2 = code.decode(two);
         const ecc_decode_result ref2 = code.decode_reference(two);
         if (fast2.data != ref2.data || fast2.status != ref2.status) {
-          std::cerr << "DECODE MISMATCH (2-bit) d=" << data_bits
-                    << " data=" << data << " a=" << a << " b=" << b << "\n";
+          std::cerr << "DECODE MISMATCH (2-bit) " << label
+                    << " d=" << data_bits << " data=" << data << " a=" << a
+                    << " b=" << b << "\n";
           return false;
         }
       }
@@ -103,7 +111,8 @@ bool verify_secded_lut(unsigned data_bits, std::uint64_t seed) {
     const ecc_decode_result fast = code.decode(garbage);
     const ecc_decode_result ref = code.decode_reference(garbage);
     if (fast.data != ref.data || fast.status != ref.status) {
-      std::cerr << "DECODE MISMATCH (garbage) d=" << data_bits << "\n";
+      std::cerr << "DECODE MISMATCH (garbage) " << label
+                << " d=" << data_bits << "\n";
       return false;
     }
   }
@@ -190,15 +199,34 @@ int main(int argc, char** argv) {
 
   // ---------------------------------------------------- self-verification
   for (const unsigned data_bits : {8u, 16u, 32u, 57u}) {
-    if (!verify_secded_lut(data_bits, seed + data_bits)) return 1;
+    if (!verify_codec_lut("secded", hamming_secded(data_bits), 20000,
+                          seed + data_bits)) {
+      return 1;
+    }
+    if (!verify_codec_lut("hsiao", hsiao_code(data_bits), 20000,
+                          seed + data_bits + 1)) {
+      return 1;
+    }
+  }
+  // BCH reference decode is a brute-force pattern search, so the wide
+  // code gets a reduced sample budget.
+  for (const unsigned t : {1u, 2u}) {
+    if (!verify_codec_lut("bch", bch_code(8, t), 0, seed + t)) return 1;
+    if (!verify_codec_lut("bch", bch_code(32, t), 4000, seed + 10 + t)) {
+      return 1;
+    }
   }
   {
     const std::uint32_t verify_rows = 512;
     none_scheme none(32);
     secded_scheme secded(32);
+    hsiao_scheme hsiao(32);
+    bch_scheme bch1(32, 1);
+    bch_scheme bch2(32, 2);
     pecc_scheme pecc(32, 16);
     shuffle_protection shuffle(verify_rows, 32, 3);
-    protection_scheme* schemes[] = {&none, &secded, &pecc, &shuffle};
+    protection_scheme* schemes[] = {&none,  &secded, &hsiao, &bch1,
+                                    &bch2,  &pecc,   &shuffle};
     for (protection_scheme* scheme : schemes) {
       if (!verify_block_equals_scalar(*scheme, verify_rows, seed + 77)) {
         return 1;
@@ -289,71 +317,96 @@ int main(int argc, char** argv) {
   }
 
   // ---------------------- tile paths: block codec vs per-word scalar path
-  // The gated comparison. "scalar" is the pre-compilation per-word
+  // The gated comparisons. "scalar" is the pre-compilation per-word
   // virtual reference walk (what write_block/read_block did before the
   // block codec layer); "block" is one encode_block/decode_block call
-  // over the whole tile.
-  const secded_scheme tile_scheme(32);
-  const protection_scheme& tile_vscheme = tile_scheme;  // force virtual dispatch
-  const std::vector<word_t> tile_data = random_words(seed + 4, rows, 32);
-  std::vector<word_t> tile_stored(rows);
-  tile_vscheme.encode_block(0, tile_data, tile_stored);
-  // Sprinkle correctable errors so decode timing covers the correction
-  // path at a realistic (sparse) rate.
-  for (std::uint32_t row = 0; row < rows; row += 37) {
-    tile_stored[row] = flip_bit(tile_stored[row], row % 39);
-  }
-  std::vector<word_t> tile_out(rows);
+  // over the whole tile. SECDED, Hsiao and BCH t=2 are gated.
+  struct tile_speedups {
+    double encode = 0.0;
+    double decode = 0.0;
+  };
+  const auto time_tile_paths = [&](const std::string& label,
+                                   const protection_scheme& tile_vscheme) {
+    const std::vector<word_t> tile_data = random_words(seed + 4, rows, 32);
+    std::vector<word_t> tile_stored(rows);
+    tile_vscheme.encode_block(0, tile_data, tile_stored);
+    // Sprinkle correctable errors so decode timing covers the
+    // correction path at a realistic (sparse) rate.
+    for (std::uint32_t row = 0; row < rows; row += 37) {
+      tile_stored[row] =
+          flip_bit(tile_stored[row], row % tile_vscheme.storage_bits());
+    }
+    std::vector<word_t> tile_out(rows);
 
-  results.push_back(bench::run_micro(
-      "secded32 encode scalar/word", rows,
-      [&] {
-        for (std::uint32_t row = 0; row < rows; ++row) {
-          tile_out[row] = tile_vscheme.encode_reference(row, tile_data[row]);
-        }
-        bench::keep(tile_out[rows - 1]);
-      },
-      min_ms));
-  const std::size_t encode_scalar_index = results.size() - 1;
-  results.push_back(bench::run_micro(
-      "secded32 encode block", rows,
-      [&] {
-        tile_vscheme.encode_block(0, tile_data, tile_out);
-        bench::keep(tile_out[rows - 1]);
-      },
-      min_ms));
-  const std::size_t encode_block_index = results.size() - 1;
-  results.push_back(bench::run_micro(
-      "secded32 decode scalar/word", rows,
-      [&] {
-        std::uint64_t uncorrectable = 0;
-        for (std::uint32_t row = 0; row < rows; ++row) {
-          const read_result r = tile_vscheme.decode_reference(row, tile_stored[row]);
-          tile_out[row] = r.data;
-          if (r.status == ecc_status::detected_uncorrectable) ++uncorrectable;
-        }
-        bench::keep(tile_out[rows - 1] + uncorrectable);
-      },
-      min_ms));
-  const std::size_t decode_scalar_index = results.size() - 1;
-  results.push_back(bench::run_micro(
-      "secded32 decode block", rows,
-      [&] {
-        const block_decode_stats stats =
-            tile_vscheme.decode_block(0, tile_stored, tile_out);
-        bench::keep(tile_out[rows - 1] + stats.uncorrectable);
-      },
-      min_ms));
-  const std::size_t decode_block_index = results.size() - 1;
+    results.push_back(bench::run_micro(
+        label + " encode scalar/word", rows,
+        [&] {
+          for (std::uint32_t row = 0; row < rows; ++row) {
+            tile_out[row] = tile_vscheme.encode_reference(row, tile_data[row]);
+          }
+          bench::keep(tile_out[rows - 1]);
+        },
+        min_ms));
+    const std::size_t encode_scalar_index = results.size() - 1;
+    results.push_back(bench::run_micro(
+        label + " encode block", rows,
+        [&] {
+          tile_vscheme.encode_block(0, tile_data, tile_out);
+          bench::keep(tile_out[rows - 1]);
+        },
+        min_ms));
+    const std::size_t encode_block_index = results.size() - 1;
+    results.push_back(bench::run_micro(
+        label + " decode scalar/word", rows,
+        [&] {
+          std::uint64_t uncorrectable = 0;
+          for (std::uint32_t row = 0; row < rows; ++row) {
+            const read_result r =
+                tile_vscheme.decode_reference(row, tile_stored[row]);
+            tile_out[row] = r.data;
+            if (r.status == ecc_status::detected_uncorrectable) ++uncorrectable;
+          }
+          bench::keep(tile_out[rows - 1] + uncorrectable);
+        },
+        min_ms));
+    const std::size_t decode_scalar_index = results.size() - 1;
+    results.push_back(bench::run_micro(
+        label + " decode block", rows,
+        [&] {
+          const block_decode_stats stats =
+              tile_vscheme.decode_block(0, tile_stored, tile_out);
+          bench::keep(tile_out[rows - 1] + stats.uncorrectable);
+        },
+        min_ms));
+    const std::size_t decode_block_index = results.size() - 1;
+
+    tile_speedups speedups;
+    speedups.encode = results[encode_scalar_index].ns_per_item /
+                      results[encode_block_index].ns_per_item;
+    speedups.decode = results[decode_scalar_index].ns_per_item /
+                      results[decode_block_index].ns_per_item;
+    return speedups;
+  };
+
+  const tile_speedups secded_speedups =
+      time_tile_paths("secded32", secded_scheme(32));
+  const tile_speedups hsiao_speedups =
+      time_tile_paths("hsiao32", hsiao_scheme(32));
+  const tile_speedups bch_speedups =
+      time_tile_paths("bch32t2", bch_scheme(32, 2));
 
   bench::print_micro_table(results);
 
-  const double speedup_encode = results[encode_scalar_index].ns_per_item /
-                                results[encode_block_index].ns_per_item;
-  const double speedup_decode = results[decode_scalar_index].ns_per_item /
-                                results[decode_block_index].ns_per_item;
+  const double speedup_encode = secded_speedups.encode;
+  const double speedup_decode = secded_speedups.decode;
   std::cout << "\nblock-codec speedup vs per-word scalar (W=32 SECDED): encode "
             << speedup_encode << "x, decode " << speedup_decode << "x\n";
+  std::cout << "block-codec speedup vs per-word scalar (W=32 Hsiao): encode "
+            << hsiao_speedups.encode << "x, decode " << hsiao_speedups.decode
+            << "x\n";
+  std::cout << "block-codec speedup vs per-word scalar (W=32 BCH t=2): encode "
+            << bch_speedups.encode << "x, decode " << bch_speedups.decode
+            << "x\n";
 
   bench::json_object payload = bench::bench_envelope("micro_codec");
   bench::json_object config;
@@ -368,6 +421,10 @@ int main(int argc, char** argv) {
   payload.add_raw("results", bench::json_array(entries));
   payload.add("speedup_encode_block_vs_scalar", speedup_encode);
   payload.add("speedup_decode_block_vs_scalar", speedup_decode);
+  payload.add("speedup_encode_block_vs_scalar_hsiao", hsiao_speedups.encode);
+  payload.add("speedup_decode_block_vs_scalar_hsiao", hsiao_speedups.decode);
+  payload.add("speedup_encode_block_vs_scalar_bch", bch_speedups.encode);
+  payload.add("speedup_decode_block_vs_scalar_bch", bch_speedups.decode);
   bench::write_bench_json("micro_codec", payload);
   return 0;
 }

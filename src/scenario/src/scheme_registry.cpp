@@ -80,6 +80,61 @@ void register_builtin_schemes(scheme_registry& registry) {
       });
 
   registry.add(
+      "hsiao",
+      "whole-word Hsiao SEC-DED ECC (balanced odd-weight columns) — "
+      "Hsiao(39,32) at 32 bits",
+      "k=0 (auto-sized check bits)",
+      [](const geometry_spec& geometry, const option_map& options) {
+        const unsigned width = geometry.word_bits;
+        const unsigned min_k = hsiao_code::min_check_bits(width);
+        const unsigned k = options.get_u32("k", 0);
+        if (k != 0 && (k < min_k || k > hsiao_code::max_check_bits)) {
+          throw spec_error(options.field_name("k"),
+                           "must be 0 (auto) or in [" + std::to_string(min_k) +
+                               ", " + std::to_string(hsiao_code::max_check_bits) +
+                               "] for " + std::to_string(width) +
+                               "-bit words, got " + std::to_string(k));
+        }
+        if (width + (k == 0 ? min_k : k) > max_word_width) {
+          throw spec_error("geometry.word_bits",
+                           "hsiao codeword exceeds the 64-bit carrier at " +
+                               std::to_string(width) + " data bits");
+        }
+        // One immutable codec (and its LUTs) serves every instance the
+        // recipe builds: per-trial construction stays allocation-cheap.
+        const auto code = std::make_shared<const hsiao_code>(width, k);
+        return labelled(
+            [code](std::uint32_t) { return std::make_unique<hsiao_scheme>(code); });
+      });
+
+  registry.add(
+      "bch",
+      "whole-word t-error-correcting BCH ECC, parity-extended — "
+      "BCH(45,32,t=2) at 32 bits",
+      "t=2",
+      [](const geometry_spec& geometry, const option_map& options) {
+        const unsigned width = geometry.word_bits;
+        const unsigned t = options.get_u32("t", 2);
+        if (t < 1 || t > bch_code::max_t) {
+          throw spec_error(options.field_name("t"),
+                           "must be in [1, " + std::to_string(bch_code::max_t) +
+                               "], got " + std::to_string(t));
+        }
+        if (!bch_design_for(width, t).has_value()) {
+          throw spec_error(options.field_name("t"),
+                           "no BCH codeword fits the 64-bit carrier at " +
+                               std::to_string(width) + " data bits with t=" +
+                               std::to_string(t) +
+                               " (t=2 supports up to 51, t=3 up to 45)");
+        }
+        // The dense correction table can run to megabytes: build it once
+        // and share it immutably across every instance.
+        const auto code = std::make_shared<const bch_code>(width, t);
+        return labelled(
+            [code](std::uint32_t) { return std::make_unique<bch_scheme>(code); });
+      });
+
+  registry.add(
       "pecc",
       "priority ECC over the MSB half — H(22,16) at 32 bits (Sec. 2 baseline)",
       "protected-bits=16",

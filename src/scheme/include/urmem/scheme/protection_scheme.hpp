@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "urmem/common/bitops.hpp"
+#include "urmem/ecc/bch.hpp"
 #include "urmem/ecc/hamming_secded.hpp"
+#include "urmem/ecc/hsiao.hpp"
 #include "urmem/ecc/priority_ecc.hpp"
 #include "urmem/memory/fault_map.hpp"
 #include "urmem/shuffle/shuffle_scheme.hpp"
@@ -62,6 +64,15 @@ class protection_scheme {
 
   /// Extra side-table bits per row (nFM for bit-shuffling, 0 otherwise).
   [[nodiscard]] virtual unsigned lut_bits_per_row() const { return 0; }
+
+  /// Number of per-row bit errors the scheme is guaranteed to correct
+  /// at any positions (the t of a t-error-correcting code): 1 for
+  /// SEC-DED-class schemes, t for BCH, 0 for schemes with no such
+  /// guarantee (none, shuffle, P-ECC). The exhaustive verification
+  /// harness derives its enumeration depth (t+1) from this.
+  [[nodiscard]] virtual unsigned guaranteed_correctable_bits() const {
+    return 0;
+  }
 
   /// Re-programs the scheme from a BIST-discovered fault map. The map's
   /// geometry must cover storage_bits() columns. Default: no-op.
@@ -171,6 +182,7 @@ class secded_scheme final : public protection_scheme {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] unsigned data_bits() const override { return code_.data_bits(); }
   [[nodiscard]] unsigned storage_bits() const override { return code_.codeword_bits(); }
+  [[nodiscard]] unsigned guaranteed_correctable_bits() const override { return 1; }
   [[nodiscard]] const hamming_secded& code() const { return code_; }
   [[nodiscard]] word_t encode(std::uint32_t row, word_t data) const override;
   [[nodiscard]] read_result decode(std::uint32_t row, word_t stored) const override;
@@ -190,6 +202,76 @@ class secded_scheme final : public protection_scheme {
 
  private:
   hamming_secded code_;
+};
+
+/// Hsiao SEC-DED ECC on the whole word — the balanced odd-weight-column
+/// construction real SRAM macros use; Hsiao(39,32) for 32-bit data.
+/// The codec is shared immutably between instances so per-trial scheme
+/// construction (quality experiments build one per tile) never rebuilds
+/// the LUTs.
+class hsiao_scheme final : public protection_scheme {
+ public:
+  explicit hsiao_scheme(unsigned width = 32, unsigned check_bits = 0);
+  explicit hsiao_scheme(std::shared_ptr<const hsiao_code> code);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] unsigned data_bits() const override { return code_->data_bits(); }
+  [[nodiscard]] unsigned storage_bits() const override { return code_->codeword_bits(); }
+  [[nodiscard]] unsigned guaranteed_correctable_bits() const override { return 1; }
+  [[nodiscard]] const hsiao_code& code() const { return *code_; }
+  [[nodiscard]] word_t encode(std::uint32_t row, word_t data) const override;
+  [[nodiscard]] read_result decode(std::uint32_t row, word_t stored) const override;
+  void encode_block(std::uint32_t first_row, std::span<const word_t> data,
+                    std::span<word_t> out) const override;
+  block_decode_stats decode_block(std::uint32_t first_row,
+                                  std::span<const word_t> stored,
+                                  std::span<word_t> out) const override;
+  [[nodiscard]] word_t encode_reference(std::uint32_t row,
+                                        word_t data) const override;
+  [[nodiscard]] read_result decode_reference(std::uint32_t row,
+                                             word_t stored) const override;
+  [[nodiscard]] double worst_case_row_cost(
+      std::span<const std::uint32_t> fault_cols) const override;
+  void residual_fault_bits(std::span<const std::uint32_t> fault_cols,
+                           std::vector<std::uint32_t>& out) const override;
+
+ private:
+  std::shared_ptr<const hsiao_code> code_;
+};
+
+/// t-error-correcting parity-extended BCH ECC on the whole word —
+/// BCH(45,32,t=2) for 32-bit data. The codec (whose dense correction
+/// table can run to megabytes) is shared immutably between instances.
+class bch_scheme final : public protection_scheme {
+ public:
+  explicit bch_scheme(unsigned width = 32, unsigned t = 2);
+  explicit bch_scheme(std::shared_ptr<const bch_code> code);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] unsigned data_bits() const override { return code_->data_bits(); }
+  [[nodiscard]] unsigned storage_bits() const override { return code_->codeword_bits(); }
+  [[nodiscard]] unsigned guaranteed_correctable_bits() const override {
+    return code_->t();
+  }
+  [[nodiscard]] const bch_code& code() const { return *code_; }
+  [[nodiscard]] word_t encode(std::uint32_t row, word_t data) const override;
+  [[nodiscard]] read_result decode(std::uint32_t row, word_t stored) const override;
+  void encode_block(std::uint32_t first_row, std::span<const word_t> data,
+                    std::span<word_t> out) const override;
+  block_decode_stats decode_block(std::uint32_t first_row,
+                                  std::span<const word_t> stored,
+                                  std::span<word_t> out) const override;
+  [[nodiscard]] word_t encode_reference(std::uint32_t row,
+                                        word_t data) const override;
+  [[nodiscard]] read_result decode_reference(std::uint32_t row,
+                                             word_t stored) const override;
+  [[nodiscard]] double worst_case_row_cost(
+      std::span<const std::uint32_t> fault_cols) const override;
+  void residual_fault_bits(std::span<const std::uint32_t> fault_cols,
+                           std::vector<std::uint32_t>& out) const override;
+
+ private:
+  std::shared_ptr<const bch_code> code_;
 };
 
 /// Priority-based ECC — H(22,16) over the 16 MSBs for 32-bit data.
@@ -260,5 +342,9 @@ class shuffle_protection final : public protection_scheme {
 [[nodiscard]] std::unique_ptr<protection_scheme> make_scheme_shuffle(
     std::uint32_t rows, unsigned width, unsigned n_fm,
     shift_policy policy = shift_policy::min_mse);
+[[nodiscard]] std::unique_ptr<protection_scheme> make_scheme_hsiao(
+    unsigned width = 32, unsigned check_bits = 0);
+[[nodiscard]] std::unique_ptr<protection_scheme> make_scheme_bch(
+    unsigned width = 32, unsigned t = 2);
 
 }  // namespace urmem

@@ -164,6 +164,166 @@ void secded_scheme::residual_fault_bits(std::span<const std::uint32_t> fault_col
   }
 }
 
+// --------------------------------------------------------------- hsiao
+
+hsiao_scheme::hsiao_scheme(unsigned width, unsigned check_bits)
+    : code_(std::make_shared<const hsiao_code>(width, check_bits)) {}
+
+hsiao_scheme::hsiao_scheme(std::shared_ptr<const hsiao_code> code)
+    : code_(std::move(code)) {
+  expects(code_ != nullptr, "hsiao_scheme needs a codec");
+}
+
+std::string hsiao_scheme::name() const {
+  return "Hsiao(" + std::to_string(code_->codeword_bits()) + "," +
+         std::to_string(code_->data_bits()) + ") ECC";
+}
+
+word_t hsiao_scheme::encode(std::uint32_t /*row*/, word_t data) const {
+  return code_->encode(data);
+}
+
+read_result hsiao_scheme::decode(std::uint32_t /*row*/, word_t stored) const {
+  const ecc_decode_result r = code_->decode(stored);
+  return {r.data, r.status};
+}
+
+void hsiao_scheme::encode_block(std::uint32_t /*first_row*/,
+                                std::span<const word_t> data,
+                                std::span<word_t> out) const {
+  check_block_spans(data.size(), out.size());
+  const hsiao_code& code = *code_;
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] = code.encode(data[i]);
+}
+
+block_decode_stats hsiao_scheme::decode_block(std::uint32_t /*first_row*/,
+                                              std::span<const word_t> stored,
+                                              std::span<word_t> out) const {
+  check_block_spans(stored.size(), out.size());
+  const hsiao_code& code = *code_;
+  block_decode_stats stats;
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    const ecc_decode_result r = code.decode(stored[i]);
+    out[i] = r.data;
+    stats.count(r.status);
+  }
+  return stats;
+}
+
+word_t hsiao_scheme::encode_reference(std::uint32_t /*row*/, word_t data) const {
+  return code_->encode_reference(data);
+}
+
+read_result hsiao_scheme::decode_reference(std::uint32_t /*row*/,
+                                           word_t stored) const {
+  const ecc_decode_result r = code_->decode_reference(stored);
+  return {r.data, r.status};
+}
+
+double hsiao_scheme::worst_case_row_cost(
+    std::span<const std::uint32_t> fault_cols) const {
+  if (fault_cols.size() <= 1) return 0.0;  // single error always corrected
+  // Multiple faults: detected but uncorrectable — the decoder hands the
+  // raw data bits through, so every faulty *data* column corrupts its
+  // logical bit (the identity layout makes bit == column).
+  double cost = 0.0;
+  for (const std::uint32_t col : fault_cols) {
+    const int bit = code_->data_bit_at_column(col);
+    if (bit >= 0) cost += squared_bit_error(static_cast<unsigned>(bit));
+  }
+  return cost;
+}
+
+void hsiao_scheme::residual_fault_bits(std::span<const std::uint32_t> fault_cols,
+                                       std::vector<std::uint32_t>& out) const {
+  if (fault_cols.size() <= 1) return;  // single error always corrected
+  for (const std::uint32_t col : fault_cols) {
+    const int bit = code_->data_bit_at_column(col);
+    if (bit >= 0) out.push_back(static_cast<std::uint32_t>(bit));
+  }
+}
+
+// ----------------------------------------------------------------- bch
+
+bch_scheme::bch_scheme(unsigned width, unsigned t)
+    : code_(std::make_shared<const bch_code>(width, t)) {}
+
+bch_scheme::bch_scheme(std::shared_ptr<const bch_code> code)
+    : code_(std::move(code)) {
+  expects(code_ != nullptr, "bch_scheme needs a codec");
+}
+
+std::string bch_scheme::name() const {
+  return "BCH(" + std::to_string(code_->codeword_bits()) + "," +
+         std::to_string(code_->data_bits()) + ",t=" +
+         std::to_string(code_->t()) + ") ECC";
+}
+
+word_t bch_scheme::encode(std::uint32_t /*row*/, word_t data) const {
+  return code_->encode(data);
+}
+
+read_result bch_scheme::decode(std::uint32_t /*row*/, word_t stored) const {
+  const ecc_decode_result r = code_->decode(stored);
+  return {r.data, r.status};
+}
+
+void bch_scheme::encode_block(std::uint32_t /*first_row*/,
+                              std::span<const word_t> data,
+                              std::span<word_t> out) const {
+  check_block_spans(data.size(), out.size());
+  const bch_code& code = *code_;
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] = code.encode(data[i]);
+}
+
+block_decode_stats bch_scheme::decode_block(std::uint32_t /*first_row*/,
+                                            std::span<const word_t> stored,
+                                            std::span<word_t> out) const {
+  check_block_spans(stored.size(), out.size());
+  const bch_code& code = *code_;
+  block_decode_stats stats;
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    const ecc_decode_result r = code.decode(stored[i]);
+    out[i] = r.data;
+    stats.count(r.status);
+  }
+  return stats;
+}
+
+word_t bch_scheme::encode_reference(std::uint32_t /*row*/, word_t data) const {
+  return code_->encode_reference(data);
+}
+
+read_result bch_scheme::decode_reference(std::uint32_t /*row*/,
+                                         word_t stored) const {
+  const ecc_decode_result r = code_->decode_reference(stored);
+  return {r.data, r.status};
+}
+
+double bch_scheme::worst_case_row_cost(
+    std::span<const std::uint32_t> fault_cols) const {
+  // Up to t faults are corrected wherever they land. Beyond that the
+  // parity extension guarantees detection (never miscorrection) at
+  // t+1 faults, so the raw-pass-through model below is *exact* there —
+  // urmem-verify proves this by enumeration.
+  if (fault_cols.size() <= code_->t()) return 0.0;
+  double cost = 0.0;
+  for (const std::uint32_t col : fault_cols) {
+    const int bit = code_->data_bit_at_column(col);
+    if (bit >= 0) cost += squared_bit_error(static_cast<unsigned>(bit));
+  }
+  return cost;
+}
+
+void bch_scheme::residual_fault_bits(std::span<const std::uint32_t> fault_cols,
+                                     std::vector<std::uint32_t>& out) const {
+  if (fault_cols.size() <= code_->t()) return;
+  for (const std::uint32_t col : fault_cols) {
+    const int bit = code_->data_bit_at_column(col);
+    if (bit >= 0) out.push_back(static_cast<std::uint32_t>(bit));
+  }
+}
+
 // ---------------------------------------------------------------- pecc
 
 pecc_scheme::pecc_scheme(unsigned width, unsigned protected_bits)
@@ -320,6 +480,15 @@ std::unique_ptr<protection_scheme> make_scheme_shuffle(std::uint32_t rows,
                                                        unsigned width, unsigned n_fm,
                                                        shift_policy policy) {
   return std::make_unique<shuffle_protection>(rows, width, n_fm, policy);
+}
+
+std::unique_ptr<protection_scheme> make_scheme_hsiao(unsigned width,
+                                                     unsigned check_bits) {
+  return std::make_unique<hsiao_scheme>(width, check_bits);
+}
+
+std::unique_ptr<protection_scheme> make_scheme_bch(unsigned width, unsigned t) {
+  return std::make_unique<bch_scheme>(width, t);
 }
 
 }  // namespace urmem

@@ -48,6 +48,18 @@ std::vector<scheme_case> all_scheme_cases() {
     cases.push_back({"secded/" + std::to_string(width),
                      [width] { return make_scheme_secded(width); },
                      width + 100});
+    cases.push_back({"hsiao/" + std::to_string(width),
+                     [width] { return make_scheme_hsiao(width); },
+                     width + 400});
+  }
+  // Multi-bit BCH at both correction strengths.
+  for (const unsigned width : {8u, 16u, 32u}) {
+    for (const unsigned t : {1u, 2u}) {
+      cases.push_back({"bch/" + std::to_string(width) + "/t=" +
+                           std::to_string(t),
+                       [width, t] { return make_scheme_bch(width, t); },
+                       width + 500 + t});
+    }
   }
   // P-ECC at the paper's configuration and narrower variants.
   for (const unsigned width : {8u, 16u, 32u}) {
@@ -198,6 +210,8 @@ TEST(BlockCodecTest, ProtectedMemoryBlockPathMatchesReferencePath) {
   const std::vector<factory_case> factories = {
       {"none", [] { return make_scheme_none(32); }},
       {"secded", [] { return make_scheme_secded(32); }},
+      {"hsiao", [] { return make_scheme_hsiao(32); }},
+      {"bch:t=2", [] { return make_scheme_bch(32, 2); }},
       {"pecc", [] { return make_scheme_pecc(32, 16); }},
       {"shuffle", [] { return make_scheme_shuffle(kRows, 32, 3); }},
   };

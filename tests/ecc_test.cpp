@@ -3,8 +3,13 @@
 // double-error detection.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <set>
+
 #include "urmem/common/rng.hpp"
+#include "urmem/ecc/bch.hpp"
 #include "urmem/ecc/hamming_secded.hpp"
+#include "urmem/ecc/hsiao.hpp"
 #include "urmem/ecc/priority_ecc.hpp"
 
 namespace urmem {
@@ -262,6 +267,191 @@ TEST(PriorityEccTest, HalfProtectedSixtyFourBitVariant) {
   EXPECT_EQ(wide.storage_bits(), 32u + 24u + 6u);
   const word_t data = 0xABCDEF012345ULL & word_mask(56);
   EXPECT_EQ(wide.decode(wide.encode(data)).data, data);
+}
+
+// ---------------------------------------------------------------------
+// Hsiao SEC-DED: the industrial odd-weight-column Hamming variant.
+
+TEST(HsiaoTest, PaperCodeParameters) {
+  // Same storage as H(39,32): 7 check bits for 32 data bits, but no
+  // separate overall-parity rail — odd-weight columns subsume it.
+  const hsiao_code code = make_hsiao39_32();
+  EXPECT_EQ(code.data_bits(), 32u);
+  EXPECT_EQ(code.check_bits(), 7u);
+  EXPECT_EQ(code.codeword_bits(), 39u);
+  EXPECT_EQ(hsiao_code(16).codeword_bits(), 22u);
+  EXPECT_EQ(hsiao_code(8).codeword_bits(), 13u);
+}
+
+TEST(HsiaoTest, ColumnsAreDistinctOddWeightAndBalanced) {
+  const hsiao_code code(32);
+  const std::vector<unsigned>& columns = code.column_syndromes();
+  ASSERT_EQ(columns.size(), code.codeword_bits());
+  std::set<unsigned> seen;
+  for (unsigned i = 0; i < code.codeword_bits(); ++i) {
+    EXPECT_EQ(std::popcount(columns[i]) % 2, 1) << "column " << i;
+    EXPECT_TRUE(seen.insert(columns[i]).second) << "column " << i;
+    if (i >= code.data_bits()) {
+      EXPECT_TRUE(is_power_of_two(columns[i])) << "check column " << i;
+    } else {
+      EXPECT_GE(std::popcount(columns[i]), 3) << "data column " << i;
+    }
+  }
+  // The greedy construction balances the XOR-tree fan-in per check bit.
+  int min_load = 64, max_load = 0;
+  for (const word_t mask : code.check_cover_masks()) {
+    const int load = std::popcount(mask);
+    min_load = std::min(min_load, load);
+    max_load = std::max(max_load, load);
+  }
+  EXPECT_LE(max_load - min_load, 2);
+}
+
+class HsiaoWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HsiaoWidths, SinglesCorrectedDoublesDetected) {
+  const hsiao_code code(GetParam());
+  rng gen(GetParam() * 17);
+  for (int trial = 0; trial < 4; ++trial) {
+    const word_t data = gen() & word_mask(code.data_bits());
+    const word_t cw = code.encode(data);
+    EXPECT_EQ(code.decode(cw).status, ecc_status::clean);
+    EXPECT_EQ(code.decode(cw).data, data);
+    for (unsigned a = 0; a < code.codeword_bits(); ++a) {
+      const ecc_decode_result single = code.decode(flip_bit(cw, a));
+      EXPECT_EQ(single.data, data) << "a=" << a;
+      EXPECT_EQ(single.status, ecc_status::corrected) << "a=" << a;
+      for (unsigned b = a + 1; b < code.codeword_bits(); ++b) {
+        const ecc_decode_result dbl = code.decode(flip_bit(flip_bit(cw, a), b));
+        EXPECT_EQ(dbl.status, ecc_status::detected_uncorrectable)
+            << "a=" << a << " b=" << b;
+        // Uncorrectable reads pass the raw data bits through.
+        EXPECT_EQ(dbl.data, code.extract_data(flip_bit(flip_bit(cw, a), b)))
+            << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST_P(HsiaoWidths, CompiledMatchesReferenceOnGarbage) {
+  const hsiao_code code(GetParam());
+  rng gen(GetParam() * 29);
+  for (int i = 0; i < 300; ++i) {
+    const word_t garbage = gen() & word_mask(code.codeword_bits());
+    const ecc_decode_result fast = code.decode(garbage);
+    const ecc_decode_result reference = code.decode_reference(garbage);
+    EXPECT_EQ(fast.data, reference.data) << garbage;
+    EXPECT_EQ(fast.status, reference.status) << garbage;
+    EXPECT_EQ(code.encode(garbage & word_mask(code.data_bits())),
+              code.encode_reference(garbage & word_mask(code.data_bits())));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CodeSizes, HsiaoWidths,
+                         ::testing::Values(4u, 8u, 16u, 32u, 57u));
+
+TEST(HsiaoTest, RejectsBadConfigurations) {
+  EXPECT_THROW(hsiao_code(0), std::invalid_argument);
+  EXPECT_THROW(hsiao_code(58), std::invalid_argument);  // 58 + 7 > 64
+  EXPECT_THROW(hsiao_code(32, 3), std::invalid_argument);   // below min k
+  EXPECT_THROW(hsiao_code(32, 13), std::invalid_argument);  // above max k
+}
+
+// ---------------------------------------------------------------------
+// Parity-extended BCH: the multi-bit arm of Sec. 2's "stronger ECC".
+
+TEST(BchTest, PaperCodeParameters) {
+  const bch_code code = make_bch45_32();
+  EXPECT_EQ(code.data_bits(), 32u);
+  EXPECT_EQ(code.t(), 2u);
+  EXPECT_EQ(code.field_bits(), 6u);
+  EXPECT_EQ(code.parity_bits(), 12u);
+  EXPECT_EQ(code.check_bits(), 13u);
+  EXPECT_EQ(code.codeword_bits(), 45u);
+  // t = 1 reproduces Hamming-class storage: BCH(39,32,t=1).
+  EXPECT_EQ(bch_code(32, 1).codeword_bits(), 39u);
+}
+
+TEST(BchTest, DesignTableEdges) {
+  // t = 1, d = 57 fills the carrier exactly: 57 + 6 + 1 = 64.
+  EXPECT_TRUE(bch_design_for(57, 1).has_value());
+  EXPECT_FALSE(bch_design_for(58, 1).has_value());
+  EXPECT_TRUE(bch_design_for(51, 2).has_value());
+  EXPECT_FALSE(bch_design_for(52, 2).has_value());
+  EXPECT_TRUE(bch_design_for(45, 3).has_value());
+  EXPECT_FALSE(bch_design_for(46, 3).has_value());
+}
+
+class BchWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BchWidths, DoublesCorrectedTriplesDetectedAtT2) {
+  const bch_code code(GetParam(), 2);
+  rng gen(GetParam() * 41);
+  const word_t data = gen() & word_mask(code.data_bits());
+  const word_t cw = code.encode(data);
+  const unsigned n = code.codeword_bits();
+  EXPECT_EQ(code.decode(cw).status, ecc_status::clean);
+  for (unsigned a = 0; a < n; ++a) {
+    for (unsigned b = a + 1; b < n; ++b) {
+      const word_t two = flip_bit(flip_bit(cw, a), b);
+      const ecc_decode_result r = code.decode(two);
+      EXPECT_EQ(r.data, data) << "a=" << a << " b=" << b;
+      EXPECT_EQ(r.status, ecc_status::corrected) << "a=" << a << " b=" << b;
+      for (unsigned c = b + 1; c < n; ++c) {
+        const ecc_decode_result triple = code.decode(flip_bit(two, c));
+        EXPECT_EQ(triple.status, ecc_status::detected_uncorrectable)
+            << "a=" << a << " b=" << b << " c=" << c;
+        EXPECT_EQ(triple.data, code.extract_data(flip_bit(two, c)))
+            << "a=" << a << " b=" << b << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST_P(BchWidths, CompiledMatchesReferenceOnGarbage) {
+  const bch_code code(GetParam(), 2);
+  rng gen(GetParam() * 43);
+  for (int i = 0; i < 100; ++i) {
+    const word_t garbage = gen() & word_mask(code.codeword_bits());
+    const ecc_decode_result fast = code.decode(garbage);
+    const ecc_decode_result reference = code.decode_reference(garbage);
+    EXPECT_EQ(fast.data, reference.data) << garbage;
+    EXPECT_EQ(fast.status, reference.status) << garbage;
+    EXPECT_EQ(code.encode(garbage & word_mask(code.data_bits())),
+              code.encode_reference(garbage & word_mask(code.data_bits())));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CodeSizes, BchWidths, ::testing::Values(8u, 16u));
+
+TEST(BchTest, TriplesCorrectedQuadsDetectedAtT3) {
+  const bch_code code(8, 3);
+  rng gen(97);
+  const word_t data = gen() & word_mask(8);
+  const word_t cw = code.encode(data);
+  const unsigned n = code.codeword_bits();
+  for (unsigned a = 0; a < n; ++a) {
+    for (unsigned b = a + 1; b < n; ++b) {
+      for (unsigned c = b + 1; c < n; ++c) {
+        const word_t three = flip_bit(flip_bit(flip_bit(cw, a), b), c);
+        const ecc_decode_result r = code.decode(three);
+        EXPECT_EQ(r.data, data) << a << "," << b << "," << c;
+        EXPECT_EQ(r.status, ecc_status::corrected) << a << "," << b << "," << c;
+        for (unsigned e = c + 1; e < n; ++e) {
+          EXPECT_EQ(code.decode(flip_bit(three, e)).status,
+                    ecc_status::detected_uncorrectable)
+              << a << "," << b << "," << c << "," << e;
+        }
+      }
+    }
+  }
+}
+
+TEST(BchTest, RejectsBadConfigurations) {
+  EXPECT_THROW(bch_code(32, 0), std::invalid_argument);
+  EXPECT_THROW(bch_code(32, 4), std::invalid_argument);  // beyond max_t
+  EXPECT_THROW(bch_code(52, 2), std::invalid_argument);  // no fitting design
+  EXPECT_THROW(bch_code(0, 1), std::invalid_argument);
 }
 
 }  // namespace

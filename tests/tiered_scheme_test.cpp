@@ -129,6 +129,123 @@ TEST(TieredScheme, EndToEndCompiledMatchesReferenceOracle) {
   EXPECT_EQ(run(fault_path::compiled), run(fault_path::reference));
 }
 
+/// Mixed-strength HRM with the multi-bit codes: BCH t=2 over the
+/// critical head (with its own spare pool), Hsiao over the middle,
+/// bare shuffle over the tail. Storage width comes from the widest
+/// tier's codeword.
+scheme_recipe make_multibit_recipe(std::uint32_t rows = 64) {
+  geometry_spec geometry;
+  geometry.rows_per_tile = rows;
+  scheme_ref ref{"tiered", option_map("schemes[0]")};
+  ref.options.set("0-15", "bch,t=2,spare_rows=2");
+  ref.options.set("16-39", "hsiao");
+  ref.options.set("40-" + std::to_string(rows - 1), "shuffle,nfm=2");
+  return scheme_registry::instance().make(ref, geometry);
+}
+
+TEST(TieredScheme, MultiBitTiersReportGeometryAndGuarantees) {
+  const scheme_recipe recipe = make_multibit_recipe();
+  EXPECT_EQ(recipe.display_name,
+            "tiered[0-15:BCH(45,32,t=2) ECC|16-39:Hsiao(39,32) ECC"
+            "|40-63:nFM=2]");
+  ASSERT_EQ(recipe.regions.size(), 3u);
+  EXPECT_EQ(recipe.regions[0].spare_rows, 2u);
+  EXPECT_EQ(recipe.regions[1].spare_rows, 0u);
+
+  const auto scheme = recipe.factory(64);
+  EXPECT_EQ(scheme->data_bits(), 32u);
+  // The BCH(45,32,t=2) codeword dictates the tile's storage width.
+  EXPECT_EQ(scheme->storage_bits(), 45u);
+
+  // Correction strength routes per row: a double flip inside the BCH
+  // tier's codeword is corrected, the same double in the Hsiao tier is
+  // detected, and the shuffle tail passes it through.
+  scheme->configure(fault_map(array_geometry{64, 45}));
+  const word_t data = 0xDEAD'BEEFull;
+  for (const std::uint32_t row : {std::uint32_t{3}, std::uint32_t{20},
+                                  std::uint32_t{50}}) {
+    const word_t two =
+        flip_bit(flip_bit(scheme->encode(row, data), 1), 7);
+    const read_result r = scheme->decode(row, two);
+    if (row < 16) {
+      EXPECT_EQ(r.status, ecc_status::corrected) << "row " << row;
+      EXPECT_EQ(r.data, data) << "row " << row;
+    } else if (row < 40) {
+      EXPECT_EQ(r.status, ecc_status::detected_uncorrectable)
+          << "row " << row;
+    } else {
+      EXPECT_EQ(r.data, data ^ ((word_t{1} << 1) | (word_t{1} << 7)))
+          << "row " << row;
+    }
+  }
+}
+
+TEST(TieredScheme, MultiBitBlockPathsCrossTierBoundariesBitForBit) {
+  const std::uint32_t rows = 64;
+  const scheme_recipe recipe = make_multibit_recipe(rows);
+  const auto scheme = recipe.factory(rows);
+
+  rng gen(31);
+  fault_map faults(array_geometry{rows, scheme->storage_bits()});
+  for (int i = 0; i < 60; ++i) {
+    faults.add({static_cast<std::uint32_t>(gen.uniform_below(rows)),
+                static_cast<std::uint32_t>(
+                    gen.uniform_below(scheme->storage_bits())),
+                fault_kind::flip});
+  }
+  scheme->configure(faults);
+
+  std::vector<word_t> data(rows);
+  for (auto& word : data) word = gen() & word_mask(32);
+  std::vector<word_t> stored(rows);
+  scheme->encode_block(0, data, stored);
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    EXPECT_EQ(stored[row], scheme->encode(row, data[row])) << "row " << row;
+    EXPECT_EQ(stored[row], scheme->encode_reference(row, data[row]))
+        << "row " << row;
+    // Corrupt within each tier's own codeword width so every tier sees
+    // single and double errors across its boundary rows.
+    if (row % 2 == 0) stored[row] = flip_bit(stored[row], row % 32);
+    if (row % 4 == 0) stored[row] = flip_bit(stored[row], (row + 9) % 32);
+  }
+  std::vector<word_t> decoded(rows);
+  const block_decode_stats stats = scheme->decode_block(0, stored, decoded);
+  block_decode_stats scalar_stats;
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    const read_result scalar = scheme->decode(row, stored[row]);
+    const read_result reference = scheme->decode_reference(row, stored[row]);
+    EXPECT_EQ(decoded[row], scalar.data) << "row " << row;
+    EXPECT_EQ(scalar.data, reference.data) << "row " << row;
+    EXPECT_EQ(scalar.status, reference.status) << "row " << row;
+    scalar_stats.count(scalar.status);
+  }
+  EXPECT_EQ(stats.corrected, scalar_stats.corrected);
+  EXPECT_EQ(stats.uncorrectable, scalar_stats.uncorrectable);
+}
+
+TEST(TieredScheme, MultiBitEndToEndCompiledMatchesReferenceOracle) {
+  const std::uint32_t rows = 64;
+  const scheme_recipe recipe = make_multibit_recipe(rows);
+
+  const auto run = [&](fault_path path) {
+    protected_memory memory(rows, recipe.factory(rows), recipe.regions);
+    memory.set_fault_path(path);
+    rng gen(37);
+    memory.set_fault_map(
+        sample_fault_map_exact(memory.storage_geometry(), 70, gen));
+    std::vector<word_t> data(rows);
+    for (std::uint32_t row = 0; row < rows; ++row) {
+      data[row] = (0x1357'0000ull + row * 2654435761ull) & word_mask(32);
+    }
+    memory.write_block(0, data);
+    std::vector<word_t> out(rows);
+    memory.read_block(0, out);
+    return out;
+  };
+
+  EXPECT_EQ(run(fault_path::compiled), run(fault_path::reference));
+}
+
 TEST(TieredScheme, RowAwareCostRoutesAndClipsColumns) {
   const scheme_recipe recipe = make_fixture_recipe(64, 24);
   const auto scheme = recipe.factory(64);
