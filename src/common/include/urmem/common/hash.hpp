@@ -1,0 +1,39 @@
+// Content hashing for checkpoint identity.
+//
+// Checkpoint files are keyed by the hash of the normalized scenario
+// spec they were computed under, so a resumed or merged campaign can
+// reject results that belong to a different experiment. The hash only
+// needs to be stable, cheap and collision-resistant at "different specs
+// hash differently" scale — FNV-1a 64 over the canonical JSON dump is
+// plenty, and being constexpr keeps it dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace urmem {
+
+/// FNV-1a 64-bit hash of `text`.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// Fixed-width 16-digit lowercase hex form (what checkpoint files and
+/// manifests store as `spec_hash`).
+[[nodiscard]] inline std::string to_hex16(std::uint64_t value) {
+  constexpr char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace urmem

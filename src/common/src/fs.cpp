@@ -1,0 +1,59 @@
+#include "urmem/common/fs.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <system_error>
+
+namespace urmem {
+
+void ensure_parent_dirs(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create directory '" + parent.string() +
+                             "': " + ec.message());
+  }
+}
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  ensure_parent_dirs(path);
+  // Process-unique temp name: concurrent shards publishing into the
+  // same directory never clobber each other's in-flight writes.
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write '" + temp + "'");
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(temp, ec);
+      throw std::runtime_error("short write to '" + temp + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(temp, ignored);
+    throw std::runtime_error("cannot rename '" + temp + "' to '" + path +
+                             "': " + ec.message());
+  }
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+}  // namespace urmem

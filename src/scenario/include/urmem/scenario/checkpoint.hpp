@@ -1,0 +1,86 @@
+// Resumable per-point checkpoints for sharded sweep campaigns.
+//
+// A sharded campaign runs each grid point at most once and must survive
+// being killed between points, so completed points are published as one
+// atomic JSON file each (write-to-temp + rename, see common/fs.hpp)
+// under a checkpoint directory that any number of shards may share:
+//
+//   DIR/manifest.json    {"schema", "spec_hash", "grid_size", "spec"}
+//   DIR/point_000003.json one completed grid point, keyed by its
+//                         expansion index and the spec's canonical hash
+//
+// Identity is the spec's canonical hash: a relaunched shard loads only
+// checkpoints whose hash matches its spec (truncated or otherwise
+// unparseable files count as missing and are re-run; a parseable
+// checkpoint from a *different* spec is rejected loudly instead of
+// silently recomputed). merge_checkpoints folds the point files of one
+// or more directories back into the exact scenario_report an unsharded
+// `urmem-run` would have produced — byte-identical at fixed seeds —
+// and fails loudly on missing points, conflicting duplicates, or
+// spec-hash mismatches. `urmem-merge` is a thin CLI over it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "urmem/common/json.hpp"
+#include "urmem/scenario/scenario_runner.hpp"
+
+namespace urmem {
+
+/// Schema tag every checkpoint file and manifest carries.
+inline constexpr std::string_view checkpoint_schema = "urmem-checkpoint/1";
+
+/// Per-point checkpoint files of one campaign under one directory.
+class checkpoint_store {
+ public:
+  /// `spec_hash` is scenario_spec::canonical_hash() of the campaign the
+  /// directory belongs to; every read and write is keyed by it.
+  checkpoint_store(std::string dir, std::string spec_hash);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] const std::string& spec_hash() const noexcept {
+    return spec_hash_;
+  }
+  [[nodiscard]] std::string manifest_path() const;
+  [[nodiscard]] std::string point_path(std::uint64_t grid_index) const;
+
+  /// Publishes DIR/manifest.json atomically (byte-identical across
+  /// shards of the same spec, so concurrent writers are harmless).
+  /// Throws spec_error("checkpoint-dir") when the directory already
+  /// holds a manifest for a different spec hash — stale checkpoint
+  /// directories are rejected, not silently overwritten.
+  void write_manifest(const json_value& spec, std::uint64_t grid_size) const;
+
+  /// Loads grid point `grid_index` if a valid checkpoint exists.
+  /// Missing, truncated or otherwise unparseable files yield nullopt
+  /// (the point is simply re-run); a well-formed checkpoint whose
+  /// spec_hash differs throws spec_error (stale results must never be
+  /// merged into a fresh campaign).
+  [[nodiscard]] std::optional<scenario_point_result> load_point(
+      std::uint64_t grid_index) const;
+
+  /// Atomically publishes one completed grid point.
+  void store_point(std::uint64_t grid_index, std::uint64_t grid_size,
+                   const scenario_point_result& point) const;
+
+ private:
+  std::string dir_;
+  std::string spec_hash_;
+};
+
+/// Folds the per-point checkpoint files of `dirs` (one shared directory
+/// or one directory per shard) back into the report an unsharded run
+/// would have produced: same spec echo, same point order, same trial
+/// totals — to_json() is byte-identical at fixed seeds. Throws
+/// spec_error on a missing or unreadable manifest, manifests that
+/// disagree on the spec hash, missing grid points, corrupt point files,
+/// point files from a different spec, or duplicate points whose
+/// payloads conflict.
+[[nodiscard]] scenario_report merge_checkpoints(
+    const std::vector<std::string>& dirs);
+
+}  // namespace urmem

@@ -25,6 +25,46 @@ struct scenario_point_result {
   workload_output output;
 };
 
+/// One shard of a sweep grid. Grid points keep their sequential
+/// expansion order (first axis outermost, exactly as an unsharded run
+/// walks them) and shard `index`/`count` owns every point whose
+/// expansion index i satisfies i % count == index — so shard 0/1 is the
+/// whole grid and N shards partition it without coordination.
+struct shard_spec {
+  std::uint64_t index = 0;
+  std::uint64_t count = 1;
+
+  /// Parses the CLI form "i/N" (0 <= i < N, N >= 1); throws
+  /// spec_error("shard", ...) on malformed text or an out-of-range
+  /// index, so `urmem-run --shard=5/3` fails before any work spawns.
+  [[nodiscard]] static shard_spec parse(std::string_view text);
+
+  [[nodiscard]] bool owns(std::uint64_t grid_index) const noexcept {
+    return grid_index % count == index;
+  }
+  /// "i/N" display form.
+  [[nodiscard]] std::string label() const;
+};
+
+/// Execution options of one scenario run (defaults reproduce the
+/// historical single-process behavior exactly).
+struct run_options {
+  shard_spec shard;  ///< 0/1 = the whole grid
+
+  /// When non-empty, one atomic JSON checkpoint file per completed grid
+  /// point is written under this directory (plus a manifest tying the
+  /// directory to the spec's canonical hash), and points with a valid
+  /// checkpoint are loaded instead of re-run — a killed shard re-runs
+  /// only missing or corrupt points on relaunch.
+  std::string checkpoint_dir;
+
+  /// When non-zero, stop after this many points have been *executed*
+  /// (checkpoint-loaded points are free) — the controlled stand-in for
+  /// a mid-sweep kill in crash-resume tests. The returned report covers
+  /// only the points reached before the budget ran out.
+  std::uint64_t max_points = 0;
+};
+
 /// All grid points of one scenario run.
 struct scenario_report {
   json_value spec;  ///< normalized base spec (echoed for provenance)
@@ -34,6 +74,10 @@ struct scenario_report {
   /// (analytic/fixture-only runs) — the ground truth bench telemetry
   /// reports instead of re-deriving the resolution policy.
   unsigned campaign_threads = 0;
+  /// Points actually executed this run vs. loaded from checkpoint
+  /// files (not serialized; run logs and resume tests read these).
+  std::uint64_t executed_points = 0;
+  std::uint64_t cached_points = 0;
 
   /// Deterministic JSON form: {"name", "spec", "results": [...]}.
   [[nodiscard]] json_value to_json() const;
@@ -56,6 +100,12 @@ class scenario_runner {
   /// to `text_out` (single-point runs print the bare workload text, so
   /// the legacy figure binaries stay byte-identical).
   [[nodiscard]] scenario_report run(std::ostream& text_out) const;
+
+  /// Same, restricted to `options.shard`'s grid points, with optional
+  /// per-point checkpointing and an executed-point budget. The default
+  /// options are byte-identical to run(text_out).
+  [[nodiscard]] scenario_report run(std::ostream& text_out,
+                                    const run_options& options) const;
 
  private:
   scenario_spec spec_;

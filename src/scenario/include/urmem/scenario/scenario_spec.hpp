@@ -198,6 +198,13 @@ struct scenario_spec {
   /// Normalized JSON form; from_json(to_json()) is the identity.
   [[nodiscard]] json_value to_json() const;
 
+  /// Stable 16-hex-digit hash of the normalized JSON form (sweep
+  /// included) — the identity that ties checkpoint files to the exact
+  /// spec they were computed under. Specs that normalize identically
+  /// hash identically; any semantic change (seed, geometry, scheme
+  /// option, sweep value, thread count) produces a different hash.
+  [[nodiscard]] std::string canonical_hash() const;
+
   /// Critical-voltage cell model at this spec's calibration.
   [[nodiscard]] cell_failure_model failure_model() const;
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "urmem/common/hash.hpp"
+
 namespace urmem {
 
 namespace {
@@ -605,6 +607,10 @@ json_value scenario_spec::to_json() const {
     doc.set("sweep", std::move(axes));
   }
   return doc;
+}
+
+std::string scenario_spec::canonical_hash() const {
+  return to_hex16(fnv1a64(to_json().dump()));
 }
 
 cell_failure_model scenario_spec::failure_model() const {

@@ -17,17 +17,31 @@
 //   urmem-run workload=fig7-quality schemes=none,pecc,shuffle:nfm=1
 //             pcell=1e-3 sweep.fault.pcell=1e-4,1e-3 --print-spec
 //
-// Flags: --list-schemes --list-workloads --print-spec --out=FILE --help
+// Flags: --list-schemes --list-workloads --print-spec --out=FILE
+//        --shard=I/N --checkpoint-dir=DIR --max-points=K --help
 // Override shorthands: seed, threads, batch, pcell, vdd, polarity, rows
 // Region overrides: regions=<range>=<scheme,...>:<range>=... and
 // regions.<range>.<key>=value (see scenario_spec.hpp).
 // (see scenario_spec.hpp for the schema).
+//
+// Sharded campaigns: --shard=I/N runs only the grid points whose
+// expansion index is congruent to I modulo N (same expansion order as
+// an unsharded run; --shard=0/1 is byte-identical to today). With
+// --checkpoint-dir each completed point is published as one atomic JSON
+// file keyed by the spec's canonical hash, so a killed shard relaunched
+// with the same directory re-runs only missing points; `urmem-merge`
+// folds the per-point files back into the exact unsharded report.
+//
+// Exit codes: 0 success, 2 spec/flag validation error (before any work
+// spawns), 1 unexpected runtime error.
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "urmem/common/fs.hpp"
+#include "urmem/scenario/checkpoint.hpp"
 #include "urmem/scenario/scenario_runner.hpp"
 #include "urmem/scenario/scheme_registry.hpp"
 #include "urmem/scenario/workload_registry.hpp"
@@ -43,17 +57,26 @@ constexpr std::string_view usage =
     "  overrides, or both (overrides win).\n"
     "\n"
     "flags:\n"
-    "  --list-schemes     print the scheme registry and exit\n"
-    "  --list-workloads   print the workload registry and exit\n"
-    "  --print-spec       print the normalized spec JSON and exit\n"
-    "  --out=FILE         also write the deterministic JSON report to FILE\n"
-    "  --help             this text\n"
+    "  --list-schemes       print the scheme registry and exit\n"
+    "  --list-workloads     print the workload registry and exit\n"
+    "  --print-spec         print the normalized spec JSON and exit\n"
+    "  --out=FILE           also write the deterministic JSON report to FILE\n"
+    "                       (parent directories are created on demand)\n"
+    "  --shard=I/N          run only grid points with index % N == I\n"
+    "                       (0 <= I < N; point order is unchanged)\n"
+    "  --checkpoint-dir=DIR write one atomic JSON file per completed grid\n"
+    "                       point; a relaunch with the same DIR re-runs\n"
+    "                       only missing points (merge with urmem-merge)\n"
+    "  --max-points=K       stop after executing K points (checkpointed\n"
+    "                       points are free) — crash-resume testing\n"
+    "  --help               this text\n"
     "\n"
     "examples:\n"
     "  urmem-run workload=table1-apps seed=7\n"
     "  urmem-run workload=fig7-quality schemes=none,pecc,shuffle:nfm=1 \\\n"
     "            pcell=1e-3 workload.samples=10 threads=0\n"
-    "  urmem-run scenarios/fig7_smoke.json --out=fig7.json\n";
+    "  urmem-run scenarios/fig7_smoke.json --out=fig7.json\n"
+    "  urmem-run scenarios/hrm_smoke.json --shard=1/3 --checkpoint-dir=ck/1\n";
 
 template <typename Infos>
 void print_registry(const Infos& infos) {
@@ -76,7 +99,10 @@ int main(int argc, char** argv) {
 
   std::string spec_path;
   std::string out_path;
+  std::string shard_text;
+  std::string max_points_text;
   bool print_spec = false;
+  run_options options;
   std::vector<std::pair<std::string, std::string>> overrides;
 
   for (int i = 1; i < argc; ++i) {
@@ -101,6 +127,18 @@ int main(int argc, char** argv) {
       out_path = arg.substr(6);
       continue;
     }
+    if (arg.starts_with("--shard=")) {
+      shard_text = arg.substr(8);
+      continue;
+    }
+    if (arg.starts_with("--checkpoint-dir=")) {
+      options.checkpoint_dir = arg.substr(17);
+      continue;
+    }
+    if (arg.starts_with("--max-points=")) {
+      max_points_text = arg.substr(13);
+      continue;
+    }
     if (arg.starts_with("--")) {
       std::cerr << "urmem-run: unknown flag '" << arg << "'\n" << usage;
       return 2;
@@ -120,6 +158,16 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Flag validation precedes any spec loading or pool spawning:
+    // `--shard=5/3` must exit 2 before a single trial runs.
+    if (!shard_text.empty()) options.shard = shard_spec::parse(shard_text);
+    if (!max_points_text.empty()) {
+      options.max_points = parse_spec_u64("max-points", max_points_text);
+      if (options.max_points == 0) {
+        throw spec_error("max-points", "must be at least 1");
+      }
+    }
+
     json_value doc = json_value::make_object();
     if (!spec_path.empty()) {
       std::ifstream in(spec_path);
@@ -145,11 +193,25 @@ int main(int argc, char** argv) {
     std::cerr << "scenario '" << spec.name << "': workload "
               << spec.workload.name << ", " << spec.schemes.size()
               << " scheme(s), " << runner.grid_size() << " grid point(s)\n";
-    const scenario_report report = runner.run(std::cout);
+    if (options.shard.count > 1) {
+      std::uint64_t owned = 0;
+      for (std::uint64_t i = 0; i < runner.grid_size(); ++i) {
+        if (options.shard.owns(i)) ++owned;
+      }
+      std::cerr << "shard " << options.shard.label() << ": owns " << owned
+                << " of " << runner.grid_size() << " grid point(s)\n";
+    }
+    const scenario_report report = runner.run(std::cout, options);
     std::cerr << "scenario done: " << report.points.size() << " point(s), "
               << report.total_trials << " trials\n";
+    if (!options.checkpoint_dir.empty()) {
+      std::cerr << "checkpoint: " << report.cached_points << " cached, "
+                << report.executed_points << " executed under '"
+                << options.checkpoint_dir << "'\n";
+    }
 
     if (!out_path.empty()) {
+      ensure_parent_dirs(out_path);
       std::ofstream out(out_path);
       if (!out) {
         std::cerr << "urmem-run: cannot write report to '" << out_path << "'\n";
