@@ -1,0 +1,73 @@
+// Background scrubber — the repair half of the fault-lifecycle
+// subsystem.
+//
+// A scrub pass walks logical rows through the normal protected read
+// path and acts on the decode outcome: clean rows are left alone,
+// correctable rows are rewritten in place (restoring the full code
+// distance before a second fault lands — the reason scrubbing is
+// load-bearing for quality), and detected-uncorrectable rows are
+// reported to the caller for retirement or degradation. The walk
+// cursor wraps, so a rows_per_pass budget spreads one full sweep over
+// several passes the way a real patrol scrubber shares the bus.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "urmem/scheme/protected_memory.hpp"
+
+namespace urmem {
+
+/// Scrub cadence and budget.
+struct scrub_config {
+  std::uint32_t interval = 0;       ///< epochs between passes; 0 = off
+  std::uint32_t rows_per_pass = 0;  ///< rows walked per pass; 0 = whole tile
+  /// Proactively retire rows that decode `corrected` (the CE-threshold
+  /// policy): with persistent faults, a corrected row is one new fault
+  /// away from silent loss, so spend a spare before that happens.
+  bool retire_correctable = true;
+
+  friend constexpr bool operator==(const scrub_config&,
+                                   const scrub_config&) = default;
+};
+
+/// One row the scrub pass flagged for follow-up.
+struct scrub_finding {
+  std::uint32_t row = 0;
+  read_result result;        ///< decode outcome of the scrub read
+  bool correctable = false;  ///< true: corrected; false: uncorrectable
+};
+
+/// Integer accounting of one pass.
+struct scrub_pass_stats {
+  std::uint64_t rows_scanned = 0;
+  std::uint64_t clean_rows = 0;
+  std::uint64_t corrected_rewrites = 0;
+  std::uint64_t uncorrectable_rows = 0;
+};
+
+/// Walks rows at a configured cadence; see the header comment.
+class scrubber {
+ public:
+  explicit scrubber(scrub_config config) : config_(config) {}
+
+  [[nodiscard]] const scrub_config& config() const { return config_; }
+
+  /// True when a pass is scheduled for `epoch` (never for interval 0).
+  [[nodiscard]] bool due(std::uint32_t epoch) const {
+    return config_.interval > 0 && epoch % config_.interval == 0;
+  }
+
+  /// Runs one pass over `memory`, appending flagged rows to `findings`
+  /// (corrected rows are already rewritten in place when this returns;
+  /// uncorrectable rows are untouched — retirement is the caller's
+  /// policy decision).
+  scrub_pass_stats pass(protected_memory& memory,
+                        std::vector<scrub_finding>& findings);
+
+ private:
+  scrub_config config_;
+  std::uint32_t cursor_ = 0;  ///< next logical row to scan (wraps)
+};
+
+}  // namespace urmem

@@ -1,0 +1,162 @@
+#include "urmem/lifecycle/fault_timeline.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "urmem/common/contracts.hpp"
+
+namespace urmem {
+
+namespace {
+
+constexpr bool cell_before(const timeline_fault& a, const timeline_fault& b) {
+  return a.f.row != b.f.row ? a.f.row < b.f.row : a.f.col < b.f.col;
+}
+
+}  // namespace
+
+fault_timeline::fault_timeline(array_geometry geometry, timeline_config config)
+    : geometry_(geometry),
+      config_(config),
+      arrivals_gen_(make_stream_rng(config.seed, stream_tag("lifecycle.arrivals"))),
+      activity_seed_(splitmix64(config.seed ^ stream_tag("lifecycle.activity"))),
+      persistent_map_(geometry),
+      intermittent_map_(geometry),
+      current_(geometry) {
+  expects(geometry.cells() > 0, "fault timeline needs a non-empty array");
+}
+
+fault_timeline::fault_timeline(fault_map initial, timeline_config config)
+    : fault_timeline(initial.geometry(), config) {
+  for (const fault& f : initial.all_faults()) {
+    persistent_.push_back(timeline_fault{f, 0, false});
+  }
+  persistent_map_ = std::move(initial);
+  expects(persistent_.size() + config.intermittent_cells <= geometry_.cells(),
+          "intermittent population does not fit the healthy cells");
+  // The intermittent population is fixed for the part's life: drawn once
+  // here (its own stream, so arrival draws never shift it), on distinct
+  // cells disjoint from every manufactured fault.
+  rng gen = make_stream_rng(config.seed, stream_tag("lifecycle.intermittent"));
+  while (intermittent_.size() < config.intermittent_cells) {
+    const std::uint64_t pick = gen.uniform_below(geometry_.cells());
+    const auto row = static_cast<std::uint32_t>(pick / geometry_.width);
+    const auto col = static_cast<std::uint32_t>(pick % geometry_.width);
+    if (cell_occupied(row, col)) continue;
+    const fault f{row, col, sample_fault_kind(gen, config.polarity)};
+    intermittent_.push_back(timeline_fault{f, 0, true});
+    intermittent_map_.add(f);
+  }
+  std::sort(intermittent_.begin(), intermittent_.end(), cell_before);
+  rebuild_current();
+}
+
+bool fault_timeline::cell_occupied(std::uint32_t row, std::uint32_t col) const {
+  const word_t bit = word_t{1} << col;
+  return ((persistent_map_.planes_of_row(row).fault_cols |
+           intermittent_map_.planes_of_row(row).fault_cols) &
+          bit) != 0;
+}
+
+bool fault_timeline::intermittent_active(std::uint64_t cell_index,
+                                         std::uint32_t epoch,
+                                         std::uint32_t attempt) const {
+  // Counter-based coin: one splitmix64 chain keyed (seed, cell, epoch,
+  // attempt). Attempt 0 is the installed map's reality; retries re-roll.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(epoch) << 32) | attempt;
+  return (splitmix64(splitmix64(activity_seed_ ^ cell_index) ^ key) & 1) != 0;
+}
+
+void fault_timeline::rebuild_current() {
+  current_ = persistent_map_;
+  for (const timeline_fault& record : intermittent_) {
+    if (intermittent_active(geometry_.cell_index(record.f.row, record.f.col),
+                            epoch_, 0)) {
+      current_.add(record.f);
+    }
+  }
+}
+
+std::uint32_t fault_timeline::advance() {
+  ++epoch_;
+  expects(persistent_.size() + intermittent_.size() + config_.arrivals_per_epoch <=
+              geometry_.cells(),
+          "fault timeline: no healthy cells left for this epoch's arrivals");
+  for (std::uint32_t drawn = 0; drawn < config_.arrivals_per_epoch;) {
+    const std::uint64_t pick = arrivals_gen_.uniform_below(geometry_.cells());
+    const auto row = static_cast<std::uint32_t>(pick / geometry_.width);
+    const auto col = static_cast<std::uint32_t>(pick % geometry_.width);
+    if (cell_occupied(row, col)) continue;
+    const fault f{row, col, sample_fault_kind(arrivals_gen_, config_.polarity)};
+    persistent_.push_back(timeline_fault{f, epoch_, false});
+    persistent_map_.add(f);
+    ++drawn;
+  }
+  rebuild_current();
+  return config_.arrivals_per_epoch;
+}
+
+word_t fault_timeline::corrupt_read(std::uint32_t row, word_t stored,
+                                    std::uint32_t attempt) const {
+  word_t value = persistent_map_.corrupt(row, stored);
+  // Persistent and intermittent cells are disjoint, so layering the
+  // active intermittents' read effects on top is exactly what
+  // current().corrupt would do at attempt 0.
+  const auto first = std::lower_bound(
+      intermittent_.begin(), intermittent_.end(), row,
+      [](const timeline_fault& record, std::uint32_t key) {
+        return record.f.row < key;
+      });
+  for (auto it = first; it != intermittent_.end() && it->f.row == row; ++it) {
+    if (!intermittent_active(geometry_.cell_index(row, it->f.col), epoch_,
+                             attempt)) {
+      continue;
+    }
+    const word_t bit = word_t{1} << it->f.col;
+    switch (it->f.kind) {
+      case fault_kind::stuck_at_zero: value &= ~bit; break;
+      case fault_kind::stuck_at_one: value |= bit; break;
+      case fault_kind::flip: value ^= bit; break;
+      case fault_kind::transition_up_fail:
+      case fault_kind::transition_down_fail:
+        break;  // write-time kinds have no read effect
+    }
+  }
+  return value;
+}
+
+timeline_fault_set fault_timeline::export_faults() const {
+  timeline_fault_set set;
+  set.geometry = geometry_;
+  set.faults.reserve(persistent_.size() + intermittent_.size());
+  set.faults.insert(set.faults.end(), persistent_.begin(), persistent_.end());
+  set.faults.insert(set.faults.end(), intermittent_.begin(), intermittent_.end());
+  std::sort(set.faults.begin(), set.faults.end(), cell_before);
+  return set;
+}
+
+fault_timeline fault_timeline::restore(const timeline_fault_set& set,
+                                       timeline_config config) {
+  fault_timeline timeline(set.geometry, config);
+  for (const timeline_fault& record : set.faults) {
+    expects(record.f.row < set.geometry.rows && record.f.col < set.geometry.width,
+            "timeline fault outside the geometry");
+    expects(!timeline.cell_occupied(record.f.row, record.f.col),
+            "duplicate cell in timeline fault set");
+    timeline.epoch_ = std::max(timeline.epoch_, record.birth_epoch);
+    if (record.intermittent) {
+      timeline.intermittent_.push_back(record);
+      timeline.intermittent_map_.add(record.f);
+    } else {
+      timeline.persistent_.push_back(record);
+      timeline.persistent_map_.add(record.f);
+    }
+  }
+  std::sort(timeline.intermittent_.begin(), timeline.intermittent_.end(),
+            cell_before);
+  timeline.rebuild_current();
+  return timeline;
+}
+
+}  // namespace urmem

@@ -1,0 +1,39 @@
+#include "urmem/lifecycle/scrubber.hpp"
+
+#include <algorithm>
+
+namespace urmem {
+
+scrub_pass_stats scrubber::pass(protected_memory& memory,
+                                std::vector<scrub_finding>& findings) {
+  scrub_pass_stats stats;
+  const std::uint32_t rows = memory.rows();
+  const std::uint32_t budget =
+      config_.rows_per_pass == 0 ? rows : std::min(config_.rows_per_pass, rows);
+  for (std::uint32_t i = 0; i < budget; ++i) {
+    const std::uint32_t row = cursor_;
+    cursor_ = cursor_ + 1 == rows ? 0 : cursor_ + 1;
+    const read_result r = memory.read(row);
+    ++stats.rows_scanned;
+    switch (r.status) {
+      case ecc_status::clean:
+        ++stats.clean_rows;
+        break;
+      case ecc_status::corrected:
+        // Rewrite restores the full code distance on the (possibly
+        // remapped) storage row; stuck cells re-corrupt on the next
+        // read, but the codeword itself is whole again.
+        memory.write(row, r.data);
+        ++stats.corrected_rewrites;
+        findings.push_back(scrub_finding{row, r, true});
+        break;
+      case ecc_status::detected_uncorrectable:
+        ++stats.uncorrectable_rows;
+        findings.push_back(scrub_finding{row, r, false});
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace urmem

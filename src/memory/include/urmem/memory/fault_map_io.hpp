@@ -10,10 +10,23 @@
 //   ...
 //
 // with kind one of: sa0, sa1, flip, tfup, tfdown.
+//
+// The v2 form carries the fault-lifecycle annotations the timeline
+// layer (src/lifecycle) needs: the epoch a fault first appeared and
+// whether the cell is intermittent (active only on some epochs):
+//
+//   urmem-faultmap v2
+//   geometry <rows> <width>
+//   fault <row> <col> <kind> <birth_epoch> [intermittent]
+//
+// read_timeline_faults accepts both versions (v1 records load as
+// persistent epoch-0 faults), so v1 exports from older test flows feed
+// the lifecycle machinery unchanged.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "urmem/memory/fault_map.hpp"
 
@@ -25,6 +38,31 @@ void write_fault_map(std::ostream& out, const fault_map& map);
 /// Parses a v1 text fault map. Throws std::invalid_argument on
 /// malformed input (bad header, unknown kind, out-of-range cells).
 [[nodiscard]] fault_map read_fault_map(std::istream& in);
+
+/// One timeline-annotated fault record (v2 format).
+struct timeline_fault {
+  fault f;
+  std::uint32_t birth_epoch = 0;  ///< epoch the fault first appeared
+  bool intermittent = false;      ///< active only on some epochs
+  friend constexpr bool operator==(const timeline_fault&,
+                                   const timeline_fault&) = default;
+};
+
+/// A timeline-extended fault population: every cell that has failed (or
+/// intermittently fails) by some epoch, with its lifecycle annotations.
+struct timeline_fault_set {
+  array_geometry geometry;
+  std::vector<timeline_fault> faults;  ///< ascending (row, col)
+};
+
+/// Writes `set` in the v2 text format.
+void write_timeline_faults(std::ostream& out, const timeline_fault_set& set);
+
+/// Parses a v1 or v2 text fault map into a timeline fault set (v1
+/// faults become persistent epoch-0 records). Throws
+/// std::invalid_argument on malformed input, unknown kinds, trailing
+/// junk or out-of-range cells.
+[[nodiscard]] timeline_fault_set read_timeline_faults(std::istream& in);
 
 /// Convenience file wrappers.
 void save_fault_map(const std::string& path, const fault_map& map);

@@ -32,6 +32,11 @@ enum class fault_polarity : std::uint8_t {
 [[nodiscard]] std::optional<fault_polarity> parse_fault_polarity(
     std::string_view name);
 
+/// Draws one fault kind under `polarity` — the per-cell kind assignment
+/// the map samplers use, exposed for incremental samplers (the fault
+/// timeline's per-epoch arrivals).
+[[nodiscard]] fault_kind sample_fault_kind(rng& gen, fault_polarity polarity);
+
 /// Draws a map with exactly `n` faults at distinct uniform cell positions.
 /// `n` must not exceed the number of cells.
 [[nodiscard]] fault_map sample_fault_map_exact(const array_geometry& geometry,

@@ -68,6 +68,68 @@ fault_map read_fault_map(std::istream& in) {
   return map;
 }
 
+void write_timeline_faults(std::ostream& out, const timeline_fault_set& set) {
+  out << "urmem-faultmap v2\n";
+  out << "geometry " << set.geometry.rows << " " << set.geometry.width << "\n";
+  for (const timeline_fault& record : set.faults) {
+    out << "fault " << record.f.row << " " << record.f.col << " "
+        << fault_kind_name(record.f.kind) << " " << record.birth_epoch;
+    if (record.intermittent) out << " intermittent";
+    out << "\n";
+  }
+}
+
+timeline_fault_set read_timeline_faults(std::istream& in) {
+  std::string line;
+  expects(static_cast<bool>(std::getline(in, line)), "empty fault map file");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const bool v2 = line == "urmem-faultmap v2";
+  expects(v2 || line == "urmem-faultmap v1", "bad fault map header: " + line);
+
+  expects(static_cast<bool>(std::getline(in, line)), "missing geometry line");
+  std::istringstream geo(line);
+  std::string tag;
+  timeline_fault_set set;
+  geo >> tag >> set.geometry.rows >> set.geometry.width;
+  expects(tag == "geometry" && !geo.fail(), "bad geometry line: " + line);
+
+  std::size_t line_no = 2;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream ss(line);
+    std::string kind_name;
+    timeline_fault record;
+    ss >> tag >> record.f.row >> record.f.col >> kind_name;
+    expects(tag == "fault" && !ss.fail(),
+            "bad fault line " + std::to_string(line_no) + ": " + line);
+    record.f.kind = fault_kind_from_name(kind_name);
+    if (v2) {
+      ss >> record.birth_epoch;
+      expects(!ss.fail(),
+              "fault line " + std::to_string(line_no) +
+                  " misses the birth epoch: " + line);
+      std::string flag;
+      if (ss >> flag) {
+        expects(flag == "intermittent",
+                "bad annotation on line " + std::to_string(line_no) + ": " +
+                    flag);
+        record.intermittent = true;
+      }
+    }
+    std::string junk;
+    expects(!(ss >> junk),
+            "trailing junk on line " + std::to_string(line_no) + ": " + line);
+    expects(record.f.row < set.geometry.rows &&
+                record.f.col < set.geometry.width,
+            "fault line " + std::to_string(line_no) +
+                " lies outside the geometry: " + line);
+    set.faults.push_back(record);
+  }
+  return set;
+}
+
 void save_fault_map(const std::string& path, const fault_map& map) {
   std::ofstream out(path);
   expects(out.good(), "cannot open for writing: " + path);

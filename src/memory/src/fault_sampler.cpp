@@ -27,6 +27,10 @@ fault_kind draw_kind(rng& gen, fault_polarity polarity) {
 
 }  // namespace
 
+fault_kind sample_fault_kind(rng& gen, fault_polarity polarity) {
+  return draw_kind(gen, polarity);
+}
+
 fault_map sample_fault_map_exact(const array_geometry& geometry, std::uint64_t n,
                                  rng& gen, fault_polarity polarity) {
   const std::uint64_t cells = geometry.cells();

@@ -17,9 +17,14 @@
 //     "name": "scenario",
 //     "geometry": {"rows_per_tile": 4096, "word_bits": 32, "frac_bits": 16},
 //     "fault":    {"pcell": 1e-3, "vdd": 0.73, "polarity": "flip",
-//                  "vcrit_mean": 0.0, "vcrit_sigma": 0.0, "model_seed": 1},
+//                  "vcrit_mean": 0.0, "vcrit_sigma": 0.0, "model_seed": 1,
+//                  "age_hours": 0},
 //     "seeds":    {"root": 42, "app": 7},
 //     "run":      {"threads": 0, "batch": 0},
+//     "scrub":    {"interval": 0, "rows_per_pass": 0,
+//                  "retire_correctable": true},
+//     "retire":   {"policy": "mark", "max_retries": 1, "spare_rows": 0,
+//                  "reliable_region": 0},
 //     "schemes":  ["none", {"name": "shuffle", "nfm": 1}, "shuffle:nfm=2"],
 //     "regions":  [{"rows": "0-1023", "scheme": "secded", "spare_rows": 8},
 //                  {"rows": "1024-4095", "scheme": "shuffle:nfm=2",
@@ -47,6 +52,8 @@
 #include <vector>
 
 #include "urmem/common/json.hpp"
+#include "urmem/lifecycle/lifecycle_manager.hpp"
+#include "urmem/lifecycle/scrubber.hpp"
 #include "urmem/memory/cell_failure_model.hpp"
 #include "urmem/memory/fault_sampler.hpp"
 #include "urmem/scenario/options.hpp"
@@ -75,6 +82,45 @@ struct fault_spec {
   double vcrit_mean = 0.0;   ///< 0 = cell model default
   double vcrit_sigma = 0.0;  ///< 0 = cell model default
   std::uint64_t model_seed = 1;
+  /// Hours of BTI-like stress: failure_model() ages every cell by
+  /// bti_vcrit_shift(age_hours) volts, so vdd-derived fault maps grow
+  /// monotonically (supersets) along an age sweep. 0 = fresh part.
+  double age_hours = 0.0;
+};
+
+/// Background-scrub section (`scrub`): cadence and budget of the
+/// lifecycle workloads' patrol scrubber. Mirrors scrub_config; the
+/// section is omitted from to_json when left at its defaults.
+struct scrub_spec {
+  std::uint32_t interval = 0;       ///< epochs between passes; 0 = off
+  std::uint32_t rows_per_pass = 0;  ///< rows walked per pass; 0 = whole tile
+  bool retire_correctable = true;   ///< CE-threshold proactive retirement
+
+  [[nodiscard]] scrub_config config() const {
+    return scrub_config{interval, rows_per_pass, retire_correctable};
+  }
+
+  friend constexpr bool operator==(const scrub_spec&,
+                                   const scrub_spec&) = default;
+};
+
+/// Row-retirement section (`retire`): the degradation policy the
+/// lifecycle workloads run when detection outruns the spare pools.
+/// `spare_rows` adds a lifecycle pool on top of whatever the scheme
+/// recipe or region table already provisions (sweepable to reproduce
+/// pool-exhaustion curves). Omitted from to_json at its defaults.
+struct retire_spec {
+  degrade_policy policy = degrade_policy::mark;
+  std::uint32_t max_retries = 1;     ///< raw read retries per UE row
+  std::uint32_t spare_rows = 0;      ///< extra runtime-retirement pool
+  std::uint32_t reliable_region = 0; ///< donor region of the remap policy
+
+  [[nodiscard]] retire_config config() const {
+    return retire_config{policy, max_retries, reliable_region};
+  }
+
+  friend constexpr bool operator==(const retire_spec&,
+                                   const retire_spec&) = default;
 };
 
 /// Seed policy: `root` seeds the campaign pool (trial i always runs on
@@ -178,6 +224,8 @@ struct scenario_spec {
   fault_spec fault;
   seed_spec seeds;
   run_spec run;
+  scrub_spec scrub;
+  retire_spec retire;
   std::vector<scheme_ref> schemes;
   std::vector<region_spec> regions;  ///< empty = homogeneous tile
   workload_ref workload;
@@ -205,7 +253,8 @@ struct scenario_spec {
   /// option, sweep value, thread count) produces a different hash.
   [[nodiscard]] std::string canonical_hash() const;
 
-  /// Critical-voltage cell model at this spec's calibration.
+  /// Critical-voltage cell model at this spec's calibration, aged by
+  /// fault.age_hours of BTI-like stress when that is non-zero.
   [[nodiscard]] cell_failure_model failure_model() const;
 
   /// Cell failure probability: fault.pcell (0 is a valid, fault-free

@@ -152,6 +152,7 @@ namespace detail {
 void register_figure_workloads(workload_registry& registry);
 void register_domain_workloads(workload_registry& registry);
 void register_hrm_workloads(workload_registry& registry);
+void register_lifecycle_workloads(workload_registry& registry);
 }  // namespace detail
 
 }  // namespace urmem

@@ -215,6 +215,52 @@ void parse_fault(const json_value& doc, fault_spec& fault) {
       }
     } else if (key == "model_seed") {
       fault.model_seed = get_u64_checked(value, field);
+    } else if (key == "age_hours") {
+      fault.age_hours = get_number(value, field);
+      if (fault.age_hours < 0.0 || fault.age_hours > 1e9) {
+        throw spec_error(field, "must be in [0, 1e9] hours, got " + value.dump(0));
+      }
+    } else {
+      throw spec_error(field, "unknown field");
+    }
+  }
+}
+
+void parse_scrub(const json_value& doc, scrub_spec& scrub) {
+  for (const auto& [key, value] : doc.as_object()) {
+    const std::string field = "scrub." + key;
+    if (key == "interval") {
+      scrub.interval = get_bounded_unsigned(value, field, 0, 1u << 22);
+    } else if (key == "rows_per_pass") {
+      scrub.rows_per_pass = get_bounded_unsigned(value, field, 0, 1u << 22);
+    } else if (key == "retire_correctable") {
+      if (!value.is_bool()) throw spec_error(field, "expected a boolean");
+      scrub.retire_correctable = value.as_bool();
+    } else {
+      throw spec_error(field, "unknown field");
+    }
+  }
+}
+
+void parse_retire(const json_value& doc, retire_spec& retire) {
+  for (const auto& [key, value] : doc.as_object()) {
+    const std::string field = "retire." + key;
+    if (key == "policy") {
+      const std::string name = get_string_checked(value, field);
+      const auto policy = parse_degrade_policy(name);
+      if (!policy.has_value()) {
+        throw spec_error(field, "unknown policy \"" + name +
+                                    "\" (valid: mark, remap, failstop)");
+      }
+      retire.policy = *policy;
+    } else if (key == "max_retries") {
+      retire.max_retries = get_bounded_unsigned(value, field, 0, 100);
+    } else if (key == "spare_rows") {
+      retire.spare_rows = get_bounded_unsigned(value, field, 0, 1u << 22);
+    } else if (key == "reliable_region") {
+      // Checked against the actual region count at workload-build time;
+      // the region table may not even be parsed yet here.
+      retire.reliable_region = get_bounded_unsigned(value, field, 0, 255);
     } else {
       throw spec_error(field, "unknown field");
     }
@@ -500,6 +546,10 @@ scenario_spec scenario_spec::from_json(const json_value& doc) {
       parse_seeds(get_object_checked(value, "seeds"), spec.seeds);
     } else if (key == "run") {
       parse_run(get_object_checked(value, "run"), spec.run);
+    } else if (key == "scrub") {
+      parse_scrub(get_object_checked(value, "scrub"), spec.scrub);
+    } else if (key == "retire") {
+      parse_retire(get_object_checked(value, "retire"), spec.retire);
     } else if (key == "schemes") {
       if (!value.is_array()) throw spec_error("schemes", "expected an array");
       const auto& entries = value.as_array();
@@ -557,6 +607,9 @@ json_value scenario_spec::to_json() const {
   f.set("vcrit_mean", fault.vcrit_mean);
   f.set("vcrit_sigma", fault.vcrit_sigma);
   f.set("model_seed", fault.model_seed);
+  // Emitted only when aging is in play, like the optional sections
+  // below: pre-lifecycle specs keep normalizing byte-identically.
+  if (fault.age_hours > 0.0) f.set("age_hours", fault.age_hours);
   doc.set("fault", std::move(f));
 
   json_value s = json_value::make_object();
@@ -568,6 +621,23 @@ json_value scenario_spec::to_json() const {
   r.set("threads", run.threads);
   r.set("batch", run.batch);
   doc.set("run", std::move(r));
+
+  if (scrub != scrub_spec{}) {
+    json_value sc = json_value::make_object();
+    sc.set("interval", scrub.interval);
+    sc.set("rows_per_pass", scrub.rows_per_pass);
+    sc.set("retire_correctable", scrub.retire_correctable);
+    doc.set("scrub", std::move(sc));
+  }
+
+  if (retire != retire_spec{}) {
+    json_value rt = json_value::make_object();
+    rt.set("policy", std::string(to_string(retire.policy)));
+    rt.set("max_retries", retire.max_retries);
+    rt.set("spare_rows", retire.spare_rows);
+    rt.set("reliable_region", retire.reliable_region);
+    doc.set("retire", std::move(rt));
+  }
 
   json_value scheme_list = json_value::make_array();
   for (const scheme_ref& ref : schemes) {
@@ -618,12 +688,17 @@ cell_failure_model scenario_spec::failure_model() const {
   // cell_failure_model::default_28nm.
   const double default_mean = 0.28937;
   const double default_sigma = 0.11848;
-  if (fault.vcrit_mean == 0.0 && fault.vcrit_sigma == 0.0) {
-    return cell_failure_model::default_28nm(fault.model_seed);
+  cell_failure_model model =
+      fault.vcrit_mean == 0.0 && fault.vcrit_sigma == 0.0
+          ? cell_failure_model::default_28nm(fault.model_seed)
+          : cell_failure_model{
+                fault.vcrit_mean > 0.0 ? fault.vcrit_mean : default_mean,
+                fault.vcrit_sigma > 0.0 ? fault.vcrit_sigma : default_sigma,
+                fault.model_seed};
+  if (fault.age_hours > 0.0) {
+    model = model.aged(cell_failure_model::bti_vcrit_shift(fault.age_hours));
   }
-  return {fault.vcrit_mean > 0.0 ? fault.vcrit_mean : default_mean,
-          fault.vcrit_sigma > 0.0 ? fault.vcrit_sigma : default_sigma,
-          fault.model_seed};
+  return model;
 }
 
 double scenario_spec::resolved_pcell(std::string_view consumer) const {

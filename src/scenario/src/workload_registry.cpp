@@ -23,6 +23,7 @@ workload_registry& workload_registry::instance() {
     detail::register_figure_workloads(r);
     detail::register_domain_workloads(r);
     detail::register_hrm_workloads(r);
+    detail::register_lifecycle_workloads(r);
     return r;
   }();
   return registry;

@@ -270,7 +270,8 @@ class bist_workload final : public workload {
  public:
   explicit bist_workload(const option_map& options)
       : faults_(options.get_u64("faults", 16)),
-        nfm_(options.get_u32("nfm", 5)) {}
+        nfm_(options.get_u32("nfm", 5)),
+        model_(options.get_bool("model", false)) {}
 
   workload_output run(const scenario_spec& spec,
                       campaign_pool& /*pool*/) const override {
@@ -282,9 +283,25 @@ class bist_workload final : public workload {
     if (faults_ > geometry.cells()) {
       throw spec_error("workload.faults", "more faults than cells");
     }
-    rng gen = named_stream_rng(spec.seeds.root, "bist.faults");
-    const fault_map injected = sample_fault_map_exact(
-        geometry, faults_, gen, spec.fault.polarity);
+    // model=true derives the manufactured faults from the critical-
+    // voltage cell model at fault.vdd (aged by fault.age_hours) instead
+    // of sampling `faults` positions — the aging-BIST scenario: sweeping
+    // fault.age_hours grows the map monotonically (supersets), exactly
+    // what re-running BIST at every POST is for.
+    fault_map injected(geometry);
+    if (model_) {
+      if (!spec.fault.vdd.has_value()) {
+        throw spec_error("fault.vdd",
+                         "workload.model=true derives faults from the cell "
+                         "model and needs the fault.vdd operating point");
+      }
+      injected = spec.failure_model().faults_at_voltage(geometry,
+                                                        *spec.fault.vdd);
+    } else {
+      rng gen = named_stream_rng(spec.seeds.root, "bist.faults");
+      injected =
+          sample_fault_map_exact(geometry, faults_, gen, spec.fault.polarity);
+    }
     sram_array array(injected);
 
     shuffle_scheme scheme(geometry.rows, geometry.width, nfm_);
@@ -322,6 +339,7 @@ class bist_workload final : public workload {
  private:
   std::uint64_t faults_;
   unsigned nfm_;
+  bool model_;
 };
 
 // ------------------------------------------------------ redundancy-yield
@@ -532,7 +550,7 @@ void register_domain_workloads(workload_registry& registry) {
                });
   registry.add("bist-march",
                "march-test fault discovery + FM-LUT programming (Sec. 3 step 1)",
-               "faults=16 nfm=5",
+               "faults=16 nfm=5 model=false",
                [](const option_map& options) {
                  return std::make_unique<bist_workload>(options);
                });

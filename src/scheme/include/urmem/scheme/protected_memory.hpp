@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -93,6 +94,51 @@ class protected_memory {
     return remaps_;
   }
 
+  /// Replaces the installed fault map in place — the fault-lifecycle
+  /// epoch step. Unlike set_fault_map this neither re-runs the spare
+  /// repair (laser fuses blow once, at manufacture) nor reconfigures
+  /// the scheme (no POST between epochs): stored data, remaps and the
+  /// scheme configuration all survive, only the fault population moves.
+  void update_fault_map(fault_map faults);
+
+  /// Retires logical `row` onto an unused fault-free spare from its own
+  /// region's pool, storing `data` (re-encoded) there — the runtime
+  /// row-retirement step layered above ECC. Spares age like data rows:
+  /// a spare is eligible only when the *current* fault map leaves its
+  /// storage bits clean. Returns the physical spare row, or nullopt
+  /// when the pool is exhausted (all used or all faulty). Re-retiring
+  /// an already-remapped row replaces the mapping; the worn-out spare
+  /// stays consumed.
+  std::optional<std::uint32_t> retire_row(std::uint32_t row, word_t data);
+
+  /// Like retire_row but draws from region `region_index`'s pool
+  /// instead of the row's own — the cross-region degradation remap
+  /// (move a failing row into the reliable tier's spares).
+  std::optional<std::uint32_t> retire_row_to_region(std::uint32_t row,
+                                                    std::size_t region_index,
+                                                    word_t data);
+
+  /// Spares of region `index` still unused (used = consumed by repair
+  /// or runtime retirement; faulty-but-unused spares still count here —
+  /// eligibility is re-checked against the live map at retire time).
+  [[nodiscard]] std::uint32_t unused_spares(std::size_t index) const;
+
+  /// Region index containing logical `row`.
+  [[nodiscard]] std::size_t region_of(std::uint32_t row) const;
+
+  /// Physical row currently serving logical `row` (identity unless
+  /// remapped) — where the lifecycle layer's raw retry reads land.
+  [[nodiscard]] std::uint32_t physical_row_of(std::uint32_t row) const {
+    return physical_row(row);
+  }
+
+  /// The raw (encoded, fault-free backdoor) storage word behind logical
+  /// `row` — the pristine stored codeword a read-retry re-corrupts
+  /// through the timeline's intermittent-cell model.
+  [[nodiscard]] word_t raw_storage_word(std::uint32_t row) const {
+    return array_.read_ideal(physical_row(row));
+  }
+
   /// Selects the compiled fast machinery or the reference oracle for
   /// subsequent accesses — switches both the array's fault application
   /// (see sram_array::set_fault_path) and the scheme codec path used by
@@ -149,6 +195,9 @@ class protected_memory {
   sram_array array_;
   /// Sorted (logical row -> spare row) remaps; empty without repair.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> remaps_;
+  /// Per-spare consumption flags, indexed by (physical - logical_rows_);
+  /// set by manufacture repair and runtime retirement alike.
+  std::vector<bool> spare_used_;
 };
 
 }  // namespace urmem

@@ -50,6 +50,7 @@ protected_memory::protected_memory(std::uint32_t rows,
     next = region.last_row + 1;
   }
   expects(next == rows, "regions must cover the logical rows exactly");
+  spare_used_.assign(spare_rows_, false);
 }
 
 std::uint32_t protected_memory::region_spare_base(std::size_t index) const {
@@ -60,6 +61,7 @@ std::uint32_t protected_memory::region_spare_base(std::size_t index) const {
 void protected_memory::set_fault_map(fault_map faults) {
   expects(faults.geometry() == storage_geometry(), "fault map geometry mismatch");
   remaps_.clear();
+  spare_used_.assign(spare_rows_, false);
   const unsigned width = scheme_->storage_bits();
   if (spare_rows_ == 0) {
     scheme_->configure(faults);
@@ -127,8 +129,76 @@ void protected_memory::set_fault_map(fault_map faults) {
   }
   // Region order is ascending-row order, so remaps_ is already sorted
   // the way physical_row's binary search needs.
+  for (const auto& [logical, spare] : remaps_) {
+    spare_used_[spare - logical_rows_] = true;
+  }
   scheme_->configure(residual);
   array_.set_faults(std::move(faults));
+}
+
+void protected_memory::update_fault_map(fault_map faults) {
+  expects(faults.geometry() == storage_geometry(), "fault map geometry mismatch");
+  array_.set_faults(std::move(faults));
+}
+
+std::size_t protected_memory::region_of(std::uint32_t row) const {
+  expects(row < logical_rows_, "row out of range");
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    if (row <= regions_[r].last_row) return r;
+  }
+  return regions_.size() - 1;  // unreachable: regions tile the rows
+}
+
+std::uint32_t protected_memory::unused_spares(std::size_t index) const {
+  expects(index < regions_.size(), "region index out of range");
+  std::uint32_t free = 0;
+  const std::uint32_t base = spare_bases_[index];
+  for (std::uint32_t s = 0; s < regions_[index].spare_rows; ++s) {
+    if (!spare_used_[base + s - logical_rows_]) ++free;
+  }
+  return free;
+}
+
+std::optional<std::uint32_t> protected_memory::retire_row(std::uint32_t row,
+                                                          word_t data) {
+  return retire_row_to_region(row, region_of(row), data);
+}
+
+std::optional<std::uint32_t> protected_memory::retire_row_to_region(
+    std::uint32_t row, std::size_t region_index, word_t data) {
+  expects(row < logical_rows_, "row out of range");
+  expects(region_index < regions_.size(), "region index out of range");
+  // The bits that must be clean are the ones the retired row actually
+  // stores — its home region's width, not the donor pool's (a reliable
+  // donor tier may be wider; its surplus columns are don't-care here).
+  const memory_region& home = regions_[region_of(row)];
+  const unsigned needed_bits =
+      home.storage_bits == 0 ? scheme_->storage_bits() : home.storage_bits;
+  const word_t mask = needed_bits >= 64 ? ~word_t{0}
+                                        : ((word_t{1} << needed_bits) - 1);
+  const fault_map& faults = array_.faults();
+  const memory_region& donor = regions_[region_index];
+  const std::uint32_t base = spare_bases_[region_index];
+  for (std::uint32_t s = 0; s < donor.spare_rows; ++s) {
+    const std::uint32_t physical = base + s;
+    if (spare_used_[physical - logical_rows_]) continue;
+    // Spares age like data rows: eligibility is judged against the
+    // *current* map, so a spare that failed since manufacture is passed
+    // over (but not consumed — a narrower row may still fit it later).
+    if ((faults.planes_of_row(physical).fault_cols & mask) != 0) continue;
+    spare_used_[physical - logical_rows_] = true;
+    array_.write(physical, scheme_->encode(row, data));
+    const auto it = std::lower_bound(
+        remaps_.begin(), remaps_.end(), row,
+        [](const auto& remap, std::uint32_t key) { return remap.first < key; });
+    if (it != remaps_.end() && it->first == row) {
+      it->second = physical;  // the worn-out spare stays consumed
+    } else {
+      remaps_.insert(it, {row, physical});
+    }
+    return physical;
+  }
+  return std::nullopt;
 }
 
 std::uint32_t protected_memory::physical_row(std::uint32_t row) const {

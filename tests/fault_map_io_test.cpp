@@ -94,6 +94,75 @@ TEST(FaultMapIoTest, FileRoundTrip) {
                std::invalid_argument);
 }
 
+// ------------------------------------------------- v2 timeline format
+
+TEST(FaultMapIoTest, TimelineRoundTripPreservesAnnotations) {
+  timeline_fault_set set;
+  set.geometry = {16, 8};
+  set.faults = {
+      {{0, 1, fault_kind::stuck_at_zero}, 0, false},
+      {{2, 7, fault_kind::flip}, 0, true},
+      {{5, 3, fault_kind::stuck_at_one}, 4, false},
+      {{9, 0, fault_kind::transition_down_fail}, 7, true},
+  };
+  std::stringstream buffer;
+  write_timeline_faults(buffer, set);
+  EXPECT_NE(buffer.str().find("urmem-faultmap v2"), std::string::npos);
+  EXPECT_NE(buffer.str().find("fault 5 3 sa1 4"), std::string::npos);
+  EXPECT_NE(buffer.str().find("fault 9 0 tfdown 7 intermittent"),
+            std::string::npos);
+
+  const timeline_fault_set parsed = read_timeline_faults(buffer);
+  EXPECT_EQ(parsed.geometry, set.geometry);
+  ASSERT_EQ(parsed.faults.size(), set.faults.size());
+  for (std::size_t i = 0; i < set.faults.size(); ++i) {
+    EXPECT_EQ(parsed.faults[i], set.faults[i]) << "record " << i;
+  }
+}
+
+TEST(FaultMapIoTest, TimelineReaderAcceptsV1AsPersistentEpochZero) {
+  std::istringstream in(
+      "urmem-faultmap v1\n"
+      "geometry 4 8\n"
+      "fault 1 3 sa0\n"
+      "fault 2 5 flip\n");
+  const timeline_fault_set set = read_timeline_faults(in);
+  ASSERT_EQ(set.faults.size(), 2u);
+  for (const timeline_fault& record : set.faults) {
+    EXPECT_EQ(record.birth_epoch, 0u);
+    EXPECT_FALSE(record.intermittent);
+  }
+  EXPECT_EQ(set.faults[0].f.kind, fault_kind::stuck_at_zero);
+  EXPECT_EQ(set.faults[1].f.kind, fault_kind::flip);
+}
+
+TEST(FaultMapIoTest, TimelineReaderRejectsMalformedV2) {
+  // v2 requires the birth epoch.
+  std::istringstream missing_epoch(
+      "urmem-faultmap v2\ngeometry 4 8\nfault 1 3 sa0\n");
+  EXPECT_THROW((void)read_timeline_faults(missing_epoch),
+               std::invalid_argument);
+  // The only legal annotation after the epoch is "intermittent".
+  std::istringstream bad_annotation(
+      "urmem-faultmap v2\ngeometry 4 8\nfault 1 3 sa0 2 sometimes\n");
+  EXPECT_THROW((void)read_timeline_faults(bad_annotation),
+               std::invalid_argument);
+  // Trailing junk after the annotation.
+  std::istringstream trailing(
+      "urmem-faultmap v2\ngeometry 4 8\nfault 1 3 sa0 2 intermittent x\n");
+  EXPECT_THROW((void)read_timeline_faults(trailing), std::invalid_argument);
+  // Out-of-geometry cells are still rejected in v2.
+  std::istringstream out_of_range(
+      "urmem-faultmap v2\ngeometry 4 8\nfault 9 0 sa0 0\n");
+  EXPECT_THROW((void)read_timeline_faults(out_of_range),
+               std::invalid_argument);
+  // v1 records must NOT carry v2 annotations.
+  std::istringstream v1_with_epoch(
+      "urmem-faultmap v1\ngeometry 4 8\nfault 1 3 sa0 2\n");
+  EXPECT_THROW((void)read_timeline_faults(v1_with_epoch),
+               std::invalid_argument);
+}
+
 // ------------------------------------------------------- system energy
 
 TEST(SystemEnergyTest, QuadraticVoltageScaling) {

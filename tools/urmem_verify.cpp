@@ -134,13 +134,28 @@ int main(int argc, char** argv) {
   }
 
   const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_seconds = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
   campaign_runner pool(pool_config);
   bool all_ok = true;
   std::uint64_t total_patterns = 0;
   std::uint64_t total_decodes = 0;
+  const std::size_t total_combos = widths.size() * schemes.size();
+  std::size_t combos_done = 0;
+  bool budget_hit = false;
 
   for (const unsigned width : widths) {
     for (const std::string& spec : schemes) {
+      // Mid-sweep budget check: a blown budget stops BEFORE the next
+      // combo and reports partial progress, instead of grinding through
+      // the rest of the grid just to fail at the end.
+      if (max_seconds > 0.0 && elapsed_seconds() > max_seconds) {
+        budget_hit = true;
+        break;
+      }
       const std::string label = spec + " @ w=" + std::to_string(width);
       try {
         const urmem::scheme_ref ref =
@@ -163,21 +178,24 @@ int main(int argc, char** argv) {
         std::cout << label << ": ERROR " << error.what() << "\n";
         all_ok = false;
       }
+      ++combos_done;
     }
+    if (budget_hit) break;
   }
 
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double elapsed = elapsed_seconds();
   std::cout << "total: " << total_patterns << " patterns, " << total_decodes
             << " decodes in " << elapsed << " s\n";
   if (!all_ok) {
     std::cout << "urmem-verify: FAILED\n";
     return 1;
   }
-  if (max_seconds > 0.0 && elapsed > max_seconds) {
+  if (max_seconds > 0.0 && (budget_hit || elapsed > max_seconds)) {
     std::cout << "urmem-verify: wall-clock budget exceeded (" << elapsed
-              << " s > " << max_seconds << " s)\n";
+              << " s > " << max_seconds << " s) after " << combos_done
+              << " of " << total_combos << " scheme x width combos\n"
+              << "partial progress: " << total_patterns << " patterns, "
+              << total_decodes << " decodes verified\n";
     return 1;
   }
   std::cout << "urmem-verify: all properties proven\n";
