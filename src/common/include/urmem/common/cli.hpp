@@ -1,0 +1,79 @@
+// Shared command-line parsing for the urmem tools.
+//
+// Every tool (urmem-run, urmem-merge, urmem-verify, urmem-serve) used
+// to hand-roll the same loop: --help prints usage to stdout, value
+// flags, boolean flags, dotted key=value spec overrides, positionals,
+// and a uniform "unknown flag -> usage on stderr, exit 2" policy. This
+// header is that loop, written once and unit-testable: parse_cli never
+// exits or touches global streams — it writes to the streams it is
+// given and reports malformed input by returning nullopt, which every
+// tool maps to exit code 2.
+//
+// Value flags accept both `--flag=value` and `--flag value`; the last
+// occurrence wins. `--help` / `-h` short-circuits: usage goes to `out`
+// and the returned cli_args has help == true (tools exit 0).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace urmem {
+
+/// One recognized flag. `name` includes the leading dashes ("--out").
+struct cli_flag {
+  std::string name;
+  bool takes_value = false;
+};
+
+/// A tool's command-line grammar.
+struct cli_spec {
+  std::string tool;       ///< diagnostic prefix, e.g. "urmem-run"
+  std::string_view usage; ///< full usage text (printed verbatim)
+  std::vector<cli_flag> flags;
+  /// Collect bare `key=value` arguments as spec overrides.
+  bool accept_overrides = false;
+  /// Collect remaining bare arguments as positionals; when false a bare
+  /// argument is an error (usage to stderr, parse fails).
+  bool accept_positionals = false;
+};
+
+/// Parsed command line.
+struct cli_args {
+  /// --help was given; usage has already been printed to `out`.
+  bool help = false;
+  /// Flags that appeared (by canonical name, values or not).
+  std::set<std::string, std::less<>> seen;
+  /// Last value given for each value flag.
+  std::map<std::string, std::string, std::less<>> values;
+  /// Bare key=value arguments, in order (when accept_overrides).
+  std::vector<std::pair<std::string, std::string>> overrides;
+  /// Bare arguments, in order (when accept_positionals).
+  std::vector<std::string> positionals;
+
+  [[nodiscard]] bool has(std::string_view flag) const {
+    return seen.contains(flag);
+  }
+  [[nodiscard]] std::string value_or(std::string_view flag,
+                                     std::string fallback = {}) const {
+    const auto it = values.find(flag);
+    return it == values.end() ? std::move(fallback) : it->second;
+  }
+};
+
+/// Parses argv against `spec`. On malformed input (unknown flag, value
+/// given to a value-less flag, missing value, unexpected positional)
+/// writes "<tool>: <problem>" plus the usage text to `err` and returns
+/// nullopt; callers exit 2. On --help writes usage to `out` and returns
+/// cli_args{help = true}; callers exit 0.
+[[nodiscard]] std::optional<cli_args> parse_cli(const cli_spec& spec, int argc,
+                                                const char* const* argv,
+                                                std::ostream& out,
+                                                std::ostream& err);
+
+}  // namespace urmem

@@ -1,9 +1,11 @@
 // Statistical primitives shared by the yield analysis and the
 // application-quality experiments: normal CDF/quantile, descriptive
-// statistics, and (weighted) empirical distribution functions.
+// statistics, (weighted) empirical distribution functions, and the
+// log-bucketed latency histogram the serving path records tails with.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -68,6 +70,66 @@ class empirical_cdf {
  private:
   std::vector<double> values_;      // sorted, unique
   std::vector<double> cumulative_;  // matching cumulative probabilities
+};
+
+/// Log-bucketed histogram of nonnegative integer samples (latencies in
+/// nanoseconds, queue depths, ...), built for concurrent drivers: each
+/// thread records into its own instance and the per-thread histograms
+/// merge exactly (merge is bucket-wise integer addition, so it is
+/// associative and commutative — the merged result is bit-identical at
+/// any thread count and merge order).
+///
+/// Values below 2^6 land in exact unit buckets; above that each power
+/// of two splits into 32 sub-buckets, bounding the relative quantile
+/// error at 1/32 while keeping the bucket table a fixed 1920 entries.
+/// Counts, sum, min, and max are exact.
+class latency_histogram {
+ public:
+  /// Sub-buckets per octave (power-of-two range).
+  static constexpr unsigned sub_bucket_bits = 5;
+  static constexpr std::uint64_t sub_bucket_count = 1ull << sub_bucket_bits;
+  /// Fixed bucket-table size covering the full uint64 domain.
+  static constexpr std::size_t bucket_table_size =
+      (64 - sub_bucket_bits - 1) * sub_bucket_count + 2 * sub_bucket_count;
+
+  latency_histogram();
+
+  /// Records one sample.
+  void record(std::uint64_t value);
+
+  /// Adds `other`'s samples into this histogram (exact).
+  void merge(const latency_histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Exact sum of all recorded samples (wraps past 2^64, i.e. after
+  /// ~584 years of nanoseconds — out of scope).
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  /// Smallest / largest recorded sample; 0 when empty.
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
+  [[nodiscard]] double mean() const;
+
+  /// Value at quantile `q` in [0, 1]: the smallest bucket upper bound
+  /// whose cumulative count reaches ceil(q * count), clamped to the
+  /// exact [min, max] range (so q=0 returns min, q=1 returns max, and
+  /// a single-sample histogram returns that sample at every q).
+  /// Returns 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  /// Bucket index a value lands in (exposed for tests).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value);
+  /// Largest value mapping to `index` (bucket upper bound).
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t index);
+
+  friend bool operator==(const latency_histogram&,
+                         const latency_histogram&) = default;
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // fixed bucket_table_size entries
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
 };
 
 }  // namespace urmem

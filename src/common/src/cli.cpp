@@ -1,0 +1,63 @@
+#include "urmem/common/cli.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace urmem {
+
+std::optional<cli_args> parse_cli(const cli_spec& spec, int argc,
+                                  const char* const* argv, std::ostream& out,
+                                  std::ostream& err) {
+  cli_args args;
+  const auto fail = [&](std::string_view message,
+                        std::string_view arg) -> std::optional<cli_args> {
+    err << spec.tool << ": " << message << " '" << arg << "'\n" << spec.usage;
+    return std::nullopt;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      out << spec.usage;
+      args.help = true;
+      return args;
+    }
+    if (arg.starts_with("--")) {
+      const std::size_t eq = arg.find('=');
+      const std::string_view name = arg.substr(0, eq);
+      const auto it =
+          std::find_if(spec.flags.begin(), spec.flags.end(),
+                       [&](const cli_flag& f) { return f.name == name; });
+      if (it == spec.flags.end()) return fail("unknown flag", arg);
+      if (!it->takes_value) {
+        if (eq != std::string_view::npos) {
+          return fail("flag takes no value", arg);
+        }
+        args.seen.insert(it->name);
+        continue;
+      }
+      std::string value;
+      if (eq != std::string_view::npos) {
+        value = std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return fail("flag requires a value", arg);
+      }
+      args.seen.insert(it->name);
+      args.values.insert_or_assign(it->name, std::move(value));
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    if (spec.accept_overrides && eq != std::string_view::npos && eq > 0) {
+      args.overrides.emplace_back(std::string(arg.substr(0, eq)),
+                                  std::string(arg.substr(eq + 1)));
+      continue;
+    }
+    if (!spec.accept_positionals) return fail("unexpected argument", arg);
+    args.positionals.emplace_back(arg);
+  }
+  return args;
+}
+
+}  // namespace urmem

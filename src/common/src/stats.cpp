@@ -1,7 +1,9 @@
 #include "urmem/common/stats.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 
 #include "urmem/common/contracts.hpp"
@@ -141,6 +143,73 @@ double empirical_cdf::quantile(double p) const {
   if (it == cumulative_.end()) return values_.back();
   const auto idx = static_cast<std::size_t>(std::distance(cumulative_.begin(), it));
   return values_[idx];
+}
+
+latency_histogram::latency_histogram() : buckets_(bucket_table_size, 0) {}
+
+std::size_t latency_histogram::bucket_index(std::uint64_t value) {
+  // Values with at most (sub_bucket_bits + 1) significant bits get
+  // exact unit buckets; above that the top sub_bucket_bits+1 bits pick
+  // the bucket, giving 32 sub-buckets per octave.
+  if (value < 2 * sub_bucket_count) return static_cast<std::size_t>(value);
+  const unsigned shift =
+      static_cast<unsigned>(std::bit_width(value)) - (sub_bucket_bits + 1);
+  const std::uint64_t top = value >> shift;  // in [32, 64)
+  return static_cast<std::size_t>(shift) * sub_bucket_count +
+         static_cast<std::size_t>(top);
+}
+
+std::uint64_t latency_histogram::bucket_upper(std::size_t index) {
+  expects(index < bucket_table_size, "bucket index out of range");
+  if (index < 2 * sub_bucket_count) return index;
+  const unsigned shift =
+      static_cast<unsigned>(index / sub_bucket_count) - 1;
+  const std::uint64_t top = index - std::size_t{shift} * sub_bucket_count;
+  return (top << shift) | ((std::uint64_t{1} << shift) - 1);
+}
+
+void latency_histogram::record(std::uint64_t value) {
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void latency_histogram::merge(const latency_histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < bucket_table_size; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double latency_histogram::mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t latency_histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_table_size; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      return std::clamp(bucket_upper(i), min_, max_);
+    }
+  }
+  return max_;  // unreachable: cumulative reaches count_
 }
 
 }  // namespace urmem

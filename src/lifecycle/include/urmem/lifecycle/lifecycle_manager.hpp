@@ -17,8 +17,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "urmem/lifecycle/fault_timeline.hpp"
@@ -82,8 +84,46 @@ class lifecycle_manager {
                     scrub_config scrub, retire_config retire);
 
   /// One epoch; returns false once the memory has fail-stopped (further
-  /// calls stay false and change nothing).
+  /// calls stay false and change nothing). Composed exactly from the
+  /// sub-steps below: advance_epoch, then (when due) run_scrub_pass
+  /// followed immediately by apply_findings.
   bool step();
+
+  /// --- composable sub-steps ---------------------------------------
+  /// The serving tier drives these directly so the scrub pass can run
+  /// concurrently with request traffic while retirement/degradation
+  /// (which rewires the logical->physical mapping) is deferred to an
+  /// exclusive epoch boundary. step() composes them back-to-back and is
+  /// byte-identical to the pre-split behavior.
+
+  /// Ages the timeline one epoch and installs the new fault map (no
+  /// re-repair — see the header comment). Returns false when the
+  /// memory already fail-stopped.
+  bool advance_epoch();
+
+  /// True when the scrubber schedules a pass for the current epoch.
+  [[nodiscard]] bool scrub_due() const;
+
+  /// Runs one scrub pass (with optional concurrency hooks), appending
+  /// flagged rows to `findings` and updating the pass counters.
+  /// Corrected rows are rewritten in place; retirement decisions are
+  /// the caller's to apply via apply_findings.
+  scrub_pass_stats run_scrub_pass(std::vector<scrub_finding>& findings,
+                                  const scrub_hooks* hooks = nullptr);
+
+  /// Applies the retirement/degradation policy to scrub findings;
+  /// returns false once the memory fail-stops (remaining findings are
+  /// not processed, matching step()).
+  bool apply_findings(const std::vector<scrub_finding>& findings);
+
+  /// Authoritative data source for write-backs (retry restores and
+  /// retirement payloads). A serving deployment installs its canonical
+  /// copy so a multi-fault miscorrection can never poison the stored
+  /// bits; unset, the decoder's best estimate is written (the
+  /// standalone study's behavior).
+  void set_data_source(std::function<word_t(std::uint32_t)> source) {
+    data_source_ = std::move(source);
+  }
 
   [[nodiscard]] const lifecycle_counters& counters() const { return counters_; }
   [[nodiscard]] const fault_timeline& timeline() const { return timeline_; }
@@ -103,6 +143,7 @@ class lifecycle_manager {
   fault_timeline timeline_;
   scrubber scrubber_;
   retire_config retire_;
+  std::function<word_t(std::uint32_t)> data_source_;
   lifecycle_counters counters_;
   std::vector<bool> marked_;
   std::optional<std::uint32_t> failstop_epoch_;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "urmem/scheme/protected_memory.hpp"
@@ -46,6 +47,20 @@ struct scrub_pass_stats {
   std::uint64_t uncorrectable_rows = 0;
 };
 
+/// Optional deployment hooks for a pass running against live traffic
+/// (the serving tier). lock_row/unlock_row bracket each row's
+/// read-and-rewrite with the caller's per-row lock so the patrol can
+/// share the tile with concurrent stores and readbacks. rewrite_word,
+/// when set, supplies the data a corrected row is rewritten with — a
+/// service refreshes from its authoritative copy instead of trusting a
+/// decode that multi-bit faults may have miscorrected. Every member may
+/// be empty; a null hooks pointer is the standalone default.
+struct scrub_hooks {
+  std::function<void(std::uint32_t)> lock_row;
+  std::function<void(std::uint32_t)> unlock_row;
+  std::function<word_t(std::uint32_t row, word_t decoded)> rewrite_word;
+};
+
 /// Walks rows at a configured cadence; see the header comment.
 class scrubber {
  public:
@@ -61,9 +76,10 @@ class scrubber {
   /// Runs one pass over `memory`, appending flagged rows to `findings`
   /// (corrected rows are already rewritten in place when this returns;
   /// uncorrectable rows are untouched — retirement is the caller's
-  /// policy decision).
+  /// policy decision). `hooks` is optional; see scrub_hooks.
   scrub_pass_stats pass(protected_memory& memory,
-                        std::vector<scrub_finding>& findings);
+                        std::vector<scrub_finding>& findings,
+                        const scrub_hooks* hooks = nullptr);
 
  private:
   scrub_config config_;

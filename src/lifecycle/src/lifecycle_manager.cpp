@@ -56,19 +56,40 @@ lifecycle_manager::lifecycle_manager(protected_memory& memory,
 }
 
 bool lifecycle_manager::step() {
+  if (!advance_epoch()) return false;
+  if (!scrub_due()) return true;
+  findings_.clear();
+  run_scrub_pass(findings_);
+  return apply_findings(findings_);
+}
+
+bool lifecycle_manager::advance_epoch() {
   if (failed_) return false;
   counters_.injected_faults += timeline_.advance();
   // In-place map swap: remaps, stored data and the scheme configuration
   // all survive — only the injected reality moves.
   memory_.update_fault_map(timeline_.current());
   ++counters_.epochs;
-  if (!scrubber_.due(timeline_.epoch())) return true;
-  findings_.clear();
-  const scrub_pass_stats stats = scrubber_.pass(memory_, findings_);
+  return true;
+}
+
+bool lifecycle_manager::scrub_due() const {
+  return scrubber_.due(timeline_.epoch());
+}
+
+scrub_pass_stats lifecycle_manager::run_scrub_pass(
+    std::vector<scrub_finding>& findings, const scrub_hooks* hooks) {
+  const scrub_pass_stats stats = scrubber_.pass(memory_, findings, hooks);
   ++counters_.scrub_passes;
   counters_.rows_scrubbed += stats.rows_scanned;
   counters_.corrected_rewrites += stats.corrected_rewrites;
-  for (const scrub_finding& finding : findings_) {
+  return stats;
+}
+
+bool lifecycle_manager::apply_findings(
+    const std::vector<scrub_finding>& findings) {
+  if (failed_) return false;
+  for (const scrub_finding& finding : findings) {
     // Marked rows are known-corrupt and deliberately served as-is; no
     // spare or retry is spent on them again.
     if (marked_[finding.row]) continue;
@@ -84,9 +105,10 @@ bool lifecycle_manager::step() {
 
 void lifecycle_manager::retire_correctable(std::uint32_t row, word_t data) {
   if (!scrubber_.config().retire_correctable) return;
+  const word_t payload = data_source_ ? data_source_(row) : data;
   // A pool-dry correctable row is benign: it keeps being rewritten in
   // place by later passes, so no counter marks the miss.
-  if (memory_.retire_row(row, data)) ++counters_.ce_retirements;
+  if (memory_.retire_row(row, payload)) ++counters_.ce_retirements;
 }
 
 void lifecycle_manager::handle_uncorrectable(std::uint32_t row, word_t data) {
@@ -104,20 +126,23 @@ void lifecycle_manager::handle_uncorrectable(std::uint32_t row, word_t data) {
     ++counters_.retry_successes;
     // The data survived after all: restore the codeword and treat the
     // row like a flagged correctable one.
-    memory_.write(row, retried.data);
+    memory_.write(row, data_source_ ? data_source_(row) : retried.data);
     retire_correctable(row, retried.data);
     return;
   }
-  // Hard uncorrectable. `data` (the decoder's best estimate) is what
-  // moves — whatever bits the faults destroyed are gone either way.
-  if (memory_.retire_row(row, data)) {
+  // Hard uncorrectable. `data` (the decoder's best estimate — or the
+  // installed data source's authoritative word) is what moves; in the
+  // standalone study whatever bits the faults destroyed are gone
+  // either way.
+  const word_t payload = data_source_ ? data_source_(row) : data;
+  if (memory_.retire_row(row, payload)) {
     ++counters_.ue_retirements;
     return;
   }
   ++counters_.pool_exhausted;
   switch (retire_.policy) {
     case degrade_policy::remap:
-      if (memory_.retire_row_to_region(row, retire_.reliable_region, data)) {
+      if (memory_.retire_row_to_region(row, retire_.reliable_region, payload)) {
         ++counters_.ue_retirements;
         ++counters_.cross_region_remaps;
         return;

@@ -5,7 +5,8 @@
 namespace urmem {
 
 scrub_pass_stats scrubber::pass(protected_memory& memory,
-                                std::vector<scrub_finding>& findings) {
+                                std::vector<scrub_finding>& findings,
+                                const scrub_hooks* hooks) {
   scrub_pass_stats stats;
   const std::uint32_t rows = memory.rows();
   const std::uint32_t budget =
@@ -13,17 +14,23 @@ scrub_pass_stats scrubber::pass(protected_memory& memory,
   for (std::uint32_t i = 0; i < budget; ++i) {
     const std::uint32_t row = cursor_;
     cursor_ = cursor_ + 1 == rows ? 0 : cursor_ + 1;
+    if (hooks != nullptr && hooks->lock_row) hooks->lock_row(row);
     const read_result r = memory.read(row);
+    if (r.status == ecc_status::corrected) {
+      // Rewrite restores the full code distance on the (possibly
+      // remapped) storage row; stuck cells re-corrupt on the next
+      // read, but the codeword itself is whole again.
+      memory.write(row, hooks != nullptr && hooks->rewrite_word
+                           ? hooks->rewrite_word(row, r.data)
+                           : r.data);
+    }
+    if (hooks != nullptr && hooks->unlock_row) hooks->unlock_row(row);
     ++stats.rows_scanned;
     switch (r.status) {
       case ecc_status::clean:
         ++stats.clean_rows;
         break;
       case ecc_status::corrected:
-        // Rewrite restores the full code distance on the (possibly
-        // remapped) storage row; stuck cells re-corrupt on the next
-        // read, but the codeword itself is whole again.
-        memory.write(row, r.data);
         ++stats.corrected_rewrites;
         findings.push_back(scrub_finding{row, r, true});
         break;

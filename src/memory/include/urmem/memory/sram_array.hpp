@@ -11,6 +11,7 @@
 // test oracles and for the BIST engine's expected-data comparison.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -87,15 +88,20 @@ class sram_array {
 
   /// Total accesses performed so far (reads + writes), for the energy
   /// accounting in the hardware model examples. Batched row ops count
-  /// exactly one access per word touched.
-  [[nodiscard]] std::uint64_t access_count() const { return accesses_; }
+  /// exactly one access per word touched. The counter is a relaxed
+  /// atomic so concurrent serving traffic (distinct rows from many
+  /// threads) tallies exactly without a data race; it imposes no
+  /// ordering on the data itself.
+  [[nodiscard]] std::uint64_t access_count() const {
+    return accesses_.load(std::memory_order_relaxed);
+  }
 
  private:
   fault_map faults_;
   fault_plane plane_;
   std::vector<word_t> data_;
   fault_path path_ = default_fault_path();
-  mutable std::uint64_t accesses_ = 0;
+  mutable std::atomic<std::uint64_t> accesses_{0};
 };
 
 }  // namespace urmem

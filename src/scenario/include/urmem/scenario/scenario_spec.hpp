@@ -25,6 +25,10 @@
 //                  "retire_correctable": true},
 //     "retire":   {"policy": "mark", "max_retries": 1, "spare_rows": 0,
 //                  "reliable_region": 0},
+//     "serve":    {"clients": 1, "requests": 4096, "requests_per_epoch": 0,
+//                  "store_percent": 20, "quality_percent": 5,
+//                  "initial_faults": 0, "arrivals_per_epoch": 0,
+//                  "intermittent_cells": 0},
 //     "schemes":  ["none", {"name": "shuffle", "nfm": 1}, "shuffle:nfm=2"],
 //     "regions":  [{"rows": "0-1023", "scheme": "secded", "spare_rows": 8},
 //                  {"rows": "1024-4095", "scheme": "shuffle:nfm=2",
@@ -121,6 +125,27 @@ struct retire_spec {
 
   friend constexpr bool operator==(const retire_spec&,
                                    const retire_spec&) = default;
+};
+
+/// Serving-mode section (`serve`): request mix and epoch pacing of the
+/// urmem-serve tier. Requests are indexed globally 0..requests-1 and
+/// request i belongs to lifecycle epoch i / requests_per_epoch, so the
+/// request set — and every integer counter derived from it — is a pure
+/// function of the spec, independent of how many client threads
+/// execute it. The section is omitted from to_json at its defaults, so
+/// specs that never mention serving round-trip unchanged.
+struct serve_spec {
+  std::uint32_t clients = 1;             ///< default driver thread count
+  std::uint64_t requests = 4096;         ///< closed-loop request budget
+  std::uint64_t requests_per_epoch = 0;  ///< 0 = one epoch, no aging
+  std::uint32_t store_percent = 20;      ///< % of requests that store
+  std::uint32_t quality_percent = 5;     ///< % that run a quality query
+  std::uint64_t initial_faults = 0;      ///< exact manufactured fault count
+  std::uint32_t arrivals_per_epoch = 0;  ///< persistent faults per epoch
+  std::uint32_t intermittent_cells = 0;  ///< timeline intermittent pool
+
+  friend constexpr bool operator==(const serve_spec&,
+                                   const serve_spec&) = default;
 };
 
 /// Seed policy: `root` seeds the campaign pool (trial i always runs on
@@ -226,6 +251,7 @@ struct scenario_spec {
   run_spec run;
   scrub_spec scrub;
   retire_spec retire;
+  serve_spec serve;
   std::vector<scheme_ref> schemes;
   std::vector<region_spec> regions;  ///< empty = homogeneous tile
   workload_ref workload;

@@ -267,6 +267,35 @@ void parse_retire(const json_value& doc, retire_spec& retire) {
   }
 }
 
+void parse_serve(const json_value& doc, serve_spec& serve) {
+  for (const auto& [key, value] : doc.as_object()) {
+    const std::string field = "serve." + key;
+    if (key == "clients") {
+      serve.clients = get_bounded_unsigned(value, field, 1, 4096);
+    } else if (key == "requests") {
+      serve.requests = get_u64_checked(value, field);
+    } else if (key == "requests_per_epoch") {
+      serve.requests_per_epoch = get_u64_checked(value, field);
+    } else if (key == "store_percent") {
+      serve.store_percent = get_bounded_unsigned(value, field, 0, 100);
+    } else if (key == "quality_percent") {
+      serve.quality_percent = get_bounded_unsigned(value, field, 0, 100);
+    } else if (key == "initial_faults") {
+      serve.initial_faults = get_u64_checked(value, field);
+    } else if (key == "arrivals_per_epoch") {
+      serve.arrivals_per_epoch = get_bounded_unsigned(value, field, 0, 1u << 22);
+    } else if (key == "intermittent_cells") {
+      serve.intermittent_cells = get_bounded_unsigned(value, field, 0, 1u << 22);
+    } else {
+      throw spec_error(field, "unknown field");
+    }
+  }
+  if (serve.store_percent + serve.quality_percent > 100) {
+    throw spec_error("serve.store_percent",
+                     "store_percent + quality_percent must not exceed 100");
+  }
+}
+
 void parse_seeds(const json_value& doc, seed_spec& seeds) {
   for (const auto& [key, value] : doc.as_object()) {
     const std::string field = "seeds." + key;
@@ -550,6 +579,8 @@ scenario_spec scenario_spec::from_json(const json_value& doc) {
       parse_scrub(get_object_checked(value, "scrub"), spec.scrub);
     } else if (key == "retire") {
       parse_retire(get_object_checked(value, "retire"), spec.retire);
+    } else if (key == "serve") {
+      parse_serve(get_object_checked(value, "serve"), spec.serve);
     } else if (key == "schemes") {
       if (!value.is_array()) throw spec_error("schemes", "expected an array");
       const auto& entries = value.as_array();
@@ -637,6 +668,19 @@ json_value scenario_spec::to_json() const {
     rt.set("spare_rows", retire.spare_rows);
     rt.set("reliable_region", retire.reliable_region);
     doc.set("retire", std::move(rt));
+  }
+
+  if (serve != serve_spec{}) {
+    json_value sv = json_value::make_object();
+    sv.set("clients", serve.clients);
+    sv.set("requests", serve.requests);
+    sv.set("requests_per_epoch", serve.requests_per_epoch);
+    sv.set("store_percent", serve.store_percent);
+    sv.set("quality_percent", serve.quality_percent);
+    sv.set("initial_faults", serve.initial_faults);
+    sv.set("arrivals_per_epoch", serve.arrivals_per_epoch);
+    sv.set("intermittent_cells", serve.intermittent_cells);
+    doc.set("serve", std::move(sv));
   }
 
   json_value scheme_list = json_value::make_array();

@@ -182,6 +182,13 @@ class protected_memory {
   /// breakdown of the heterogeneous-reliability reports.
   [[nodiscard]] double analytic_mse(std::uint32_t first, std::uint32_t last) const;
 
+  /// Number of logical rows whose current fault population exceeds the
+  /// scheme's correction guarantee (nonzero analytic residual) — the
+  /// exact integer behind the serving tier's quality_query. Depends
+  /// only on the installed fault map and remap table, so it is a pure
+  /// function of the lifecycle epoch.
+  [[nodiscard]] std::uint64_t residual_rows() const;
+
  private:
   /// Physical row serving logical `row` (identity unless remapped).
   [[nodiscard]] std::uint32_t physical_row(std::uint32_t row) const;

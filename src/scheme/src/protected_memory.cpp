@@ -317,4 +317,22 @@ double protected_memory::analytic_mse(std::uint32_t first,
   return total / static_cast<double>(last - first + 1);
 }
 
+std::uint64_t protected_memory::residual_rows() const {
+  const fault_map& faults = array_.faults();
+  static thread_local std::vector<std::uint32_t> cols;
+  static thread_local std::vector<std::uint32_t> bits;
+  std::uint64_t degraded = 0;
+  for (const std::uint32_t row : faults.faulty_rows()) {
+    // Same visibility rule as analytic_mse: faulty spares and retired
+    // (remapped) data rows contribute nothing to the address space.
+    if (row >= logical_rows_ || physical_row(row) != row) continue;
+    cols.clear();
+    for (const fault& f : faults.faults_in_row(row)) cols.push_back(f.col);
+    bits.clear();
+    scheme_->residual_fault_bits_at(row, cols, bits);
+    if (!bits.empty()) ++degraded;
+  }
+  return degraded;
+}
+
 }  // namespace urmem

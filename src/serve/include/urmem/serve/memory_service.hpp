@@ -1,0 +1,174 @@
+// memory_service — the resident serving tier over protected-memory
+// tiles (the "millions of users" half of the roadmap's north star).
+//
+// A service is built from an ordinary scenario_spec: every resolved
+// scheme recipe (tiered/HRM region tables included) becomes one hot
+// tile — compiled fault planes, LUT codecs, spare pools and a PR 8
+// lifecycle_manager — and every request is applied to all tiles, so a
+// serving run compares protection schemes under identical traffic the
+// same way the batch workloads do.
+//
+// Thread-safety and the determinism contract
+// ------------------------------------------
+// The service is designed so that every *integer* counter it reports
+// is bit-identical at any client count, while stores, readbacks,
+// quality queries and the background scrub genuinely overlap:
+//
+//  * An epoch gate (shared_mutex) orders traffic against maintenance.
+//    Requests and scrub passes hold it shared; step_epoch's mutation
+//    window — apply deferred retirements/degradation, age the timeline,
+//    install the new fault map — holds it exclusive. The logical->
+//    physical mapping and the fault map are therefore constant within
+//    an epoch, and any request's outcome is a pure function of
+//    (row, epoch).
+//
+//  * Stores always write the service's canonical word for the row (the
+//    authoritative copy a real serving tier refreshes from), and the
+//    scrubber/lifecycle write-backs are routed through the same copy
+//    (scrub_hooks::rewrite_word, lifecycle_manager::set_data_source).
+//    With a write-idempotent fault population — stuck-at and flip
+//    faults corrupt reads, not stores — every write of a row stores
+//    the same bits, so concurrent stores, readbacks and scrub rewrites
+//    commute. Transition-fault populations (polarity "mixed") are
+//    rejected at construction: they latch write history and would make
+//    outcomes interleaving-dependent.
+//
+//  * Per-row stripe locks serialize touching the *same* row from two
+//    threads (a data race even when idempotent); distinct rows only
+//    share the relaxed atomic outcome counters, which are commutative
+//    integer sums.
+//
+// Retirement is deliberately deferred maintenance: a scrub pass runs
+// concurrently with traffic and records findings, but spares are spent
+// (and rows marked / fail-stopped) only inside the next epoch
+// boundary's exclusive window — the way a deployed fleet schedules
+// page-retirement at a quiesce point instead of yanking a mapping
+// mid-request.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "urmem/common/json.hpp"
+#include "urmem/lifecycle/lifecycle_manager.hpp"
+#include "urmem/scenario/scenario_spec.hpp"
+#include "urmem/scheme/protected_memory.hpp"
+
+namespace urmem {
+
+/// Exact integer outcomes of one tile's request traffic. Plain struct
+/// (snapshot form); the service accumulates the live values in relaxed
+/// atomics.
+struct tile_traffic_counters {
+  std::uint64_t stores = 0;
+  std::uint64_t readbacks = 0;
+  std::uint64_t clean_reads = 0;
+  std::uint64_t corrected_reads = 0;
+  std::uint64_t uncorrectable_reads = 0;
+  std::uint64_t word_errors = 0;        ///< readback != canonical word
+  std::uint64_t quality_queries = 0;
+  std::uint64_t degraded_rows_seen = 0; ///< sum of residual_rows() per query
+};
+
+/// Deterministic integer snapshot of the whole service — the golden
+/// counter section of the serve report. Latency and wall-clock live in
+/// the driver's report, never here.
+struct service_snapshot {
+  std::uint64_t requests = 0;  ///< stores + readbacks + quality queries
+  std::uint64_t stores = 0;
+  std::uint64_t readbacks = 0;
+  std::uint64_t quality_queries = 0;
+  std::uint64_t epoch_steps = 0;
+  std::uint64_t snapshots = 0;  ///< stats_snapshot calls (this one included)
+
+  struct tile_entry {
+    std::string scheme;
+    tile_traffic_counters traffic;
+    lifecycle_counters life;
+    std::uint64_t spares_left = 0;
+    bool failed = false;  ///< fail-stopped (failstop degrade policy)
+  };
+  std::vector<tile_entry> tiles;
+
+  /// Stable JSON form (ordered keys, exact integers) for goldens.
+  [[nodiscard]] json_value to_json() const;
+};
+
+/// The serving tier; see the header comment for the concurrency and
+/// determinism design.
+class memory_service {
+ public:
+  /// Builds one tile per resolved scheme recipe. Throws spec_error for
+  /// configurations that cannot serve deterministically (operating
+  /// points on the fault section, transition-fault polarity) — the
+  /// exact fault population comes from serve.initial_faults /
+  /// serve.arrivals_per_epoch instead, seeded by named streams of
+  /// seeds.root.
+  explicit memory_service(const scenario_spec& spec);
+  ~memory_service();
+
+  memory_service(const memory_service&) = delete;
+  memory_service& operator=(const memory_service&) = delete;
+
+  /// Logical rows every tile serves.
+  [[nodiscard]] std::uint32_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t tile_count() const { return tiles_.size(); }
+  /// Epochs stepped so far (0 until the first step_epoch).
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_steps_.load(std::memory_order_acquire);
+  }
+
+  /// Request ops (thread-safe, shared on the epoch gate).
+  void store(std::uint32_t row);
+  void readback(std::uint32_t row);
+  void quality_query();
+
+  /// Admin op: applies the previous epoch's deferred scrub findings,
+  /// ages every live tile one epoch (new fault arrivals installed),
+  /// then runs the due scrub passes concurrently with traffic under
+  /// the shared gate. Call from one maintenance thread only.
+  void step_epoch();
+
+  /// Admin op: applies any still-deferred scrub findings (call once
+  /// after traffic stops so the final snapshot includes the last
+  /// pass's retirements).
+  void drain();
+
+  /// Admin op: exact counter snapshot. Counts itself. Only a snapshot
+  /// taken while no request is in flight (e.g. after drain) is
+  /// deterministic; mid-run snapshots are exact sums of whatever
+  /// completed, which is timing-dependent.
+  [[nodiscard]] service_snapshot stats_snapshot();
+
+  /// Forwards to every tile (test hook: compiled vs reference oracle).
+  void set_fault_path(fault_path path);
+
+  /// Canonical word the service stores for `row` (test oracle).
+  [[nodiscard]] word_t canonical_word(std::uint32_t row) const {
+    return words_[row];
+  }
+
+ private:
+  struct tile;  // protected_memory + lifecycle_manager + counters
+
+  void lock_row(std::uint32_t row) { stripes_[row & stripe_mask_].lock(); }
+  void unlock_row(std::uint32_t row) { stripes_[row & stripe_mask_].unlock(); }
+
+  std::uint32_t rows_ = 0;
+  std::vector<word_t> words_;  ///< canonical per-row data (seeds.app)
+  std::vector<std::unique_ptr<tile>> tiles_;
+
+  std::shared_mutex gate_;  ///< shared = traffic/scrub, exclusive = boundary
+  static constexpr std::uint32_t stripe_mask_ = 63;
+  std::vector<std::mutex> stripes_{stripe_mask_ + 1};
+
+  std::atomic<std::uint64_t> epoch_steps_{0};
+  std::atomic<std::uint64_t> snapshots_{0};
+};
+
+}  // namespace urmem

@@ -1,0 +1,309 @@
+#include "urmem/serve/memory_service.hpp"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "urmem/common/bitops.hpp"
+#include "urmem/common/rng.hpp"
+#include "urmem/lifecycle/fault_timeline.hpp"
+#include "urmem/memory/fault_sampler.hpp"
+#include "urmem/scenario/workload_registry.hpp"
+
+namespace urmem {
+
+namespace {
+
+// Region table of one serving tile, mirroring the lifecycle workloads:
+// the recipe's own regions (or a single homogeneous one), with the
+// retire section's extra runtime pool added to the reliable region.
+std::vector<memory_region> tile_regions(const scenario_spec& spec,
+                                        const scheme_recipe& recipe,
+                                        std::uint32_t rows) {
+  std::vector<memory_region> regions = recipe.regions;
+  if (regions.empty()) {
+    regions.push_back(memory_region{0, rows - 1, recipe.spare_rows, 0});
+  }
+  if (spec.retire.reliable_region >= regions.size()) {
+    throw spec_error("retire.reliable_region",
+                     "tile has only " + std::to_string(regions.size()) +
+                         " region(s)");
+  }
+  regions[spec.retire.reliable_region].spare_rows += spec.retire.spare_rows;
+  return regions;
+}
+
+}  // namespace
+
+/// One hot tile: the protected memory, its lifecycle manager, the
+/// deferred scrub findings of the in-flight epoch, and the relaxed
+/// atomic traffic counters (commutative sums, so any interleaving of
+/// fetch_adds totals the same).
+struct memory_service::tile {
+  std::string name;
+  protected_memory memory;
+  std::optional<lifecycle_manager> manager;  // built after the fault map
+  std::vector<scrub_finding> findings;       ///< deferred until the boundary
+  scrub_hooks hooks;
+  bool alive = true;  ///< false after fail-stop: no more aging or scrubbing
+
+  std::atomic<std::uint64_t> stores{0};
+  std::atomic<std::uint64_t> readbacks{0};
+  std::atomic<std::uint64_t> clean_reads{0};
+  std::atomic<std::uint64_t> corrected_reads{0};
+  std::atomic<std::uint64_t> uncorrectable_reads{0};
+  std::atomic<std::uint64_t> word_errors{0};
+  std::atomic<std::uint64_t> quality_queries{0};
+  std::atomic<std::uint64_t> degraded_rows_seen{0};
+
+  tile(std::string name_, std::uint32_t rows,
+       std::unique_ptr<protection_scheme> scheme,
+       std::vector<memory_region> regions)
+      : name(std::move(name_)),
+        memory(rows, std::move(scheme), std::move(regions)) {}
+
+  [[nodiscard]] tile_traffic_counters traffic() const {
+    tile_traffic_counters t;
+    t.stores = stores.load(std::memory_order_relaxed);
+    t.readbacks = readbacks.load(std::memory_order_relaxed);
+    t.clean_reads = clean_reads.load(std::memory_order_relaxed);
+    t.corrected_reads = corrected_reads.load(std::memory_order_relaxed);
+    t.uncorrectable_reads = uncorrectable_reads.load(std::memory_order_relaxed);
+    t.word_errors = word_errors.load(std::memory_order_relaxed);
+    t.quality_queries = quality_queries.load(std::memory_order_relaxed);
+    t.degraded_rows_seen = degraded_rows_seen.load(std::memory_order_relaxed);
+    return t;
+  }
+};
+
+memory_service::memory_service(const scenario_spec& spec) {
+  if (spec.fault.pcell.has_value() || spec.fault.vdd.has_value()) {
+    throw spec_error("fault",
+                     "serve draws serve.initial_faults exactly; remove the "
+                     "pcell/vdd operating point");
+  }
+  reject_region_operating_points(spec, "serve");
+  if (spec.fault.polarity == fault_polarity::mixed) {
+    throw spec_error("fault.polarity",
+                     "serve requires write-idempotent faults (flip or "
+                     "random-stuck); transition faults latch write history "
+                     "and break the concurrent determinism contract");
+  }
+
+  rows_ = spec.geometry.rows_per_tile;
+  words_.resize(rows_);
+  rng data_gen = named_stream_rng(spec.seeds.app, "serve.data");
+  const word_t mask = word_mask(spec.geometry.word_bits);
+  for (word_t& word : words_) word = data_gen() & mask;
+
+  const std::vector<scheme_recipe> recipes = resolve_schemes(spec);
+  tiles_.reserve(recipes.size());
+  for (std::size_t index = 0; index < recipes.size(); ++index) {
+    const scheme_recipe& recipe = recipes[index];
+    auto entry = std::make_unique<tile>(recipe.display_name, rows_,
+                                        recipe.factory(rows_),
+                                        tile_regions(spec, recipe, rows_));
+
+    // Per-tile fault stream: the manufactured map and the timeline seed
+    // both derive from seeds.root through one named stream, so the
+    // fault history is a pure function of (spec, tile index).
+    rng gen = named_stream_rng(spec.seeds.root,
+                               "serve.tile." + std::to_string(index));
+    fault_map initial =
+        spec.serve.initial_faults > 0
+            ? sample_fault_map_exact(entry->memory.storage_geometry(),
+                                     spec.serve.initial_faults, gen,
+                                     spec.fault.polarity)
+            : fault_map(entry->memory.storage_geometry());
+    entry->memory.set_fault_map(initial);
+
+    timeline_config config;
+    config.arrivals_per_epoch = spec.serve.arrivals_per_epoch;
+    config.intermittent_cells = spec.serve.intermittent_cells;
+    config.polarity = spec.fault.polarity;
+    config.seed = gen();
+    entry->manager.emplace(entry->memory,
+                           fault_timeline(std::move(initial), config),
+                           spec.scrub.config(), spec.retire.config());
+    entry->manager->set_data_source(
+        [this](std::uint32_t row) { return words_[row]; });
+    entry->hooks.lock_row = [this](std::uint32_t row) { lock_row(row); };
+    entry->hooks.unlock_row = [this](std::uint32_t row) { unlock_row(row); };
+    entry->hooks.rewrite_word = [this](std::uint32_t row, word_t) {
+      return words_[row];
+    };
+
+    entry->memory.write_block(0, words_);
+    tiles_.push_back(std::move(entry));
+  }
+}
+
+memory_service::~memory_service() = default;
+
+void memory_service::store(std::uint32_t row) {
+  std::shared_lock gate(gate_);
+  std::scoped_lock stripe(stripes_[row & stripe_mask_]);
+  for (const auto& entry : tiles_) {
+    entry->memory.write(row, words_[row]);
+    entry->stores.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void memory_service::readback(std::uint32_t row) {
+  std::shared_lock gate(gate_);
+  std::scoped_lock stripe(stripes_[row & stripe_mask_]);
+  for (const auto& entry : tiles_) {
+    const read_result result = entry->memory.read(row);
+    entry->readbacks.fetch_add(1, std::memory_order_relaxed);
+    switch (result.status) {
+      case ecc_status::clean:
+        entry->clean_reads.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ecc_status::corrected:
+        entry->corrected_reads.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ecc_status::detected_uncorrectable:
+        entry->uncorrectable_reads.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    if (result.data != words_[row]) {
+      entry->word_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void memory_service::quality_query() {
+  std::shared_lock gate(gate_);
+  for (const auto& entry : tiles_) {
+    entry->quality_queries.fetch_add(1, std::memory_order_relaxed);
+    entry->degraded_rows_seen.fetch_add(entry->memory.residual_rows(),
+                                        std::memory_order_relaxed);
+  }
+}
+
+void memory_service::step_epoch() {
+  {
+    std::unique_lock gate(gate_);
+    for (const auto& entry : tiles_) {
+      if (!entry->alive) continue;
+      if (!entry->manager->apply_findings(entry->findings)) {
+        entry->alive = false;
+      }
+      entry->findings.clear();
+      if (entry->alive && !entry->manager->advance_epoch()) {
+        entry->alive = false;
+      }
+    }
+    epoch_steps_.fetch_add(1, std::memory_order_release);
+  }
+  // The pass itself runs under the shared gate, concurrent with request
+  // traffic; its retirements stay deferred in `findings` until the next
+  // boundary (or drain()).
+  std::shared_lock gate(gate_);
+  for (const auto& entry : tiles_) {
+    if (!entry->alive || !entry->manager->scrub_due()) continue;
+    entry->manager->run_scrub_pass(entry->findings, &entry->hooks);
+  }
+}
+
+void memory_service::drain() {
+  std::unique_lock gate(gate_);
+  for (const auto& entry : tiles_) {
+    if (!entry->alive) continue;
+    if (!entry->manager->apply_findings(entry->findings)) {
+      entry->alive = false;
+    }
+    entry->findings.clear();
+  }
+}
+
+service_snapshot memory_service::stats_snapshot() {
+  // Exclusive: lifecycle_counters are plain integers written by the
+  // concurrent scrub pass, so a snapshot must not overlap one.
+  std::unique_lock gate(gate_);
+  service_snapshot snap;
+  snap.epoch_steps = epoch_steps_.load(std::memory_order_relaxed);
+  snap.snapshots = snapshots_.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (const auto& entry : tiles_) {
+    service_snapshot::tile_entry out;
+    out.scheme = entry->name;
+    out.traffic = entry->traffic();
+    out.life = entry->manager->counters();
+    for (std::size_t r = 0; r < entry->memory.regions().size(); ++r) {
+      out.spares_left += entry->memory.unused_spares(r);
+    }
+    out.failed = entry->manager->failed();
+    snap.stores += out.traffic.stores;
+    snap.readbacks += out.traffic.readbacks;
+    snap.quality_queries += out.traffic.quality_queries;
+    snap.tiles.push_back(std::move(out));
+  }
+  // Per-tile counts are per-request *per tile*; the service-level view
+  // counts each request once.
+  if (!tiles_.empty()) {
+    snap.stores /= tiles_.size();
+    snap.readbacks /= tiles_.size();
+    snap.quality_queries /= tiles_.size();
+  }
+  snap.requests = snap.stores + snap.readbacks + snap.quality_queries;
+  return snap;
+}
+
+void memory_service::set_fault_path(fault_path path) {
+  std::unique_lock gate(gate_);
+  for (const auto& entry : tiles_) entry->memory.set_fault_path(path);
+}
+
+json_value service_snapshot::to_json() const {
+  json_value doc = json_value::make_object();
+  json_value requests_json = json_value::make_object();
+  requests_json.set("total", requests);
+  requests_json.set("stores", stores);
+  requests_json.set("readbacks", readbacks);
+  requests_json.set("quality_queries", quality_queries);
+  requests_json.set("epoch_steps", epoch_steps);
+  requests_json.set("snapshots", snapshots);
+  doc.set("requests", std::move(requests_json));
+
+  json_value tiles_json = json_value::make_array();
+  for (const tile_entry& entry : tiles) {
+    json_value tile_json = json_value::make_object();
+    tile_json.set("scheme", entry.scheme);
+
+    json_value traffic_json = json_value::make_object();
+    traffic_json.set("stores", entry.traffic.stores);
+    traffic_json.set("readbacks", entry.traffic.readbacks);
+    traffic_json.set("clean_reads", entry.traffic.clean_reads);
+    traffic_json.set("corrected_reads", entry.traffic.corrected_reads);
+    traffic_json.set("uncorrectable_reads", entry.traffic.uncorrectable_reads);
+    traffic_json.set("word_errors", entry.traffic.word_errors);
+    traffic_json.set("quality_queries", entry.traffic.quality_queries);
+    traffic_json.set("degraded_rows_seen", entry.traffic.degraded_rows_seen);
+    tile_json.set("traffic", std::move(traffic_json));
+
+    json_value life_json = json_value::make_object();
+    life_json.set("epochs", entry.life.epochs);
+    life_json.set("injected_faults", entry.life.injected_faults);
+    life_json.set("scrub_passes", entry.life.scrub_passes);
+    life_json.set("rows_scrubbed", entry.life.rows_scrubbed);
+    life_json.set("corrected_rewrites", entry.life.corrected_rewrites);
+    life_json.set("ce_retirements", entry.life.ce_retirements);
+    life_json.set("ue_detected", entry.life.ue_detected);
+    life_json.set("read_retries", entry.life.read_retries);
+    life_json.set("retry_successes", entry.life.retry_successes);
+    life_json.set("ue_retirements", entry.life.ue_retirements);
+    life_json.set("pool_exhausted", entry.life.pool_exhausted);
+    life_json.set("cross_region_remaps", entry.life.cross_region_remaps);
+    life_json.set("marked_rows", entry.life.marked_rows);
+    life_json.set("failstops", entry.life.failstops);
+    tile_json.set("lifecycle", std::move(life_json));
+
+    tile_json.set("spares_left", entry.spares_left);
+    tile_json.set("failed", entry.failed);
+    tiles_json.push_back(std::move(tile_json));
+  }
+  doc.set("tiles", std::move(tiles_json));
+  return doc;
+}
+
+}  // namespace urmem

@@ -1,0 +1,177 @@
+#include "urmem/serve/service_driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "urmem/common/rng.hpp"
+
+namespace urmem {
+
+namespace {
+
+/// Shared pacing state: completed-request count (atomic, bumped outside
+/// any lock) and the admin thread's published epoch. The cv is only
+/// signalled at epoch-boundary crossings, so the hot path is one
+/// fetch_add per request.
+struct pacing {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::atomic<std::uint64_t> completed{0};
+  std::uint64_t epoch_done = 0;  ///< guarded by mutex
+  bool stop = false;             ///< guarded by mutex (deadline reached)
+};
+
+}  // namespace
+
+driver_config driver_config_from(const scenario_spec& spec) {
+  driver_config config;
+  config.clients = spec.serve.clients;
+  config.requests = spec.serve.requests;
+  config.requests_per_epoch = spec.serve.requests_per_epoch;
+  config.store_percent = spec.serve.store_percent;
+  config.quality_percent = spec.serve.quality_percent;
+  config.seed_root = spec.seeds.root;
+  return config;
+}
+
+drive_report drive(memory_service& service, const driver_config& config) {
+  const std::uint64_t total = config.requests;
+  const std::uint64_t per_epoch = config.requests_per_epoch;
+  const std::uint32_t clients = std::max<std::uint32_t>(1, config.clients);
+  const std::uint64_t traffic_seed =
+      stream_seed(config.seed_root, stream_tag("serve.traffic"));
+  const std::uint32_t rows = service.rows();
+  const bool timed = config.duration_seconds > 0.0;
+
+  pacing pace;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(
+                      timed ? config.duration_seconds : 0.0));
+
+  std::vector<latency_histogram> histograms(clients);
+
+  auto client_loop = [&](std::uint32_t client) {
+    latency_histogram& histogram = histograms[client];
+    for (std::uint64_t index = client; index < total; index += clients) {
+      if (per_epoch > 0) {
+        // Wait for the service to reach this request's epoch.
+        const std::uint64_t target = index / per_epoch;
+        std::unique_lock lock(pace.mutex);
+        pace.cv.wait(lock, [&] {
+          return pace.stop || pace.epoch_done >= target;
+        });
+        if (pace.stop) return;
+      } else if (timed) {
+        std::unique_lock lock(pace.mutex);
+        if (pace.stop) return;
+      }
+
+      rng gen = make_stream_rng(traffic_seed, index);
+      const std::uint64_t draw = gen.uniform_below(100);
+      const auto row = static_cast<std::uint32_t>(gen.uniform_below(rows));
+
+      const auto issued = std::chrono::steady_clock::now();
+      if (draw < config.store_percent) {
+        service.store(row);
+      } else if (draw < config.store_percent + config.quality_percent) {
+        service.quality_query();
+      } else {
+        service.readback(row);
+      }
+      const auto finished = std::chrono::steady_clock::now();
+      histogram.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(finished -
+                                                               issued)
+              .count()));
+
+      const std::uint64_t done =
+          pace.completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+      const bool deadline_hit = timed && finished >= deadline;
+      if (deadline_hit || done == total ||
+          (per_epoch > 0 && done % per_epoch == 0)) {
+        {
+          std::scoped_lock lock(pace.mutex);
+          if (deadline_hit) pace.stop = true;
+        }
+        pace.cv.notify_all();
+      }
+    }
+  };
+
+  // Epoch boundaries strictly inside the budget: boundary e (stepping
+  // the service to epoch e) fires once the first e*per_epoch requests
+  // completed, for every e with e*per_epoch < total.
+  auto admin_loop = [&] {
+    const std::uint64_t boundaries =
+        (per_epoch == 0 || total == 0) ? 0 : (total - 1) / per_epoch;
+    for (std::uint64_t epoch = 1; epoch <= boundaries; ++epoch) {
+      {
+        std::unique_lock lock(pace.mutex);
+        pace.cv.wait(lock, [&] {
+          return pace.stop ||
+                 pace.completed.load(std::memory_order_acquire) >=
+                     epoch * per_epoch;
+        });
+        if (pace.stop) return;
+      }
+      service.step_epoch();
+      {
+        std::scoped_lock lock(pace.mutex);
+        pace.epoch_done = epoch;
+      }
+      pace.cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(clients + 1);
+  if (per_epoch > 0) workers.emplace_back(admin_loop);
+  for (std::uint32_t client = 0; client < clients; ++client) {
+    workers.emplace_back(client_loop, client);
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  service.drain();
+
+  drive_report report;
+  report.counters = service.stats_snapshot();
+  for (const latency_histogram& histogram : histograms) {
+    report.latency.merge(histogram);
+  }
+  report.executed = pace.completed.load(std::memory_order_acquire);
+  const auto end = std::chrono::steady_clock::now();
+  report.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  report.requests_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.executed) / report.wall_seconds
+          : 0.0;
+  return report;
+}
+
+json_value drive_report::to_json() const {
+  json_value doc = json_value::make_object();
+  doc.set("counters", counters.to_json());
+
+  json_value latency_json = json_value::make_object();
+  latency_json.set("samples", latency.count());
+  latency_json.set("wall_seconds", wall_seconds);
+  latency_json.set("requests_per_second", requests_per_second);
+  latency_json.set("mean_ns", latency.mean());
+  latency_json.set("p50_ns", latency.quantile(0.5));
+  latency_json.set("p99_ns", latency.quantile(0.99));
+  latency_json.set("p999_ns", latency.quantile(0.999));
+  latency_json.set("min_ns", latency.min());
+  latency_json.set("max_ns", latency.max());
+  doc.set("latency", std::move(latency_json));
+  return doc;
+}
+
+}  // namespace urmem

@@ -1,0 +1,113 @@
+// Tests for the shared tool command-line parser (common/cli.hpp): the
+// one flag-parsing loop behind urmem-run, urmem-merge, urmem-verify and
+// urmem-serve. Malformed input must fail with the tool name and usage
+// on the error stream (tools map that to exit 2) without touching the
+// output stream.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "urmem/common/cli.hpp"
+
+namespace urmem {
+namespace {
+
+const cli_spec kSpec{.tool = "urmem-test",
+                     .usage = "usage: urmem-test [flags]\n",
+                     .flags = {{"--verbose"},
+                               {"--out", true},
+                               {"--shard", true}},
+                     .accept_overrides = true,
+                     .accept_positionals = true};
+
+std::optional<cli_args> parse(const cli_spec& spec,
+                              std::vector<const char*> args,
+                              std::string* out_text = nullptr,
+                              std::string* err_text = nullptr) {
+  args.insert(args.begin(), "urmem-test");
+  std::ostringstream out;
+  std::ostringstream err;
+  const auto parsed =
+      parse_cli(spec, static_cast<int>(args.size()), args.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return parsed;
+}
+
+TEST(CliParser, FlagsValuesOverridesAndPositionals) {
+  const auto parsed = parse(
+      kSpec, {"spec.json", "--verbose", "--out=report.json", "fault.pcell=1e-3",
+              "--shard", "1/3", "seed=7"});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->help);
+  EXPECT_TRUE(parsed->has("--verbose"));
+  EXPECT_EQ(parsed->value_or("--out"), "report.json");
+  EXPECT_EQ(parsed->value_or("--shard"), "1/3");  // --flag value form
+  ASSERT_EQ(parsed->positionals.size(), 1u);
+  EXPECT_EQ(parsed->positionals[0], "spec.json");
+  ASSERT_EQ(parsed->overrides.size(), 2u);
+  EXPECT_EQ(parsed->overrides[0].first, "fault.pcell");
+  EXPECT_EQ(parsed->overrides[0].second, "1e-3");
+  EXPECT_EQ(parsed->overrides[1].first, "seed");
+  EXPECT_EQ(parsed->overrides[1].second, "7");
+}
+
+TEST(CliParser, LastValueWinsAndFallback) {
+  const auto parsed = parse(kSpec, {"--out=a.json", "--out=b.json"});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->value_or("--out"), "b.json");
+  EXPECT_EQ(parsed->value_or("--shard", "0/1"), "0/1");
+}
+
+TEST(CliParser, HelpPrintsUsageToOut) {
+  for (const char* flag : {"--help", "-h"}) {
+    std::string out_text;
+    std::string err_text;
+    const auto parsed = parse(kSpec, {flag}, &out_text, &err_text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->help);
+    EXPECT_EQ(out_text, std::string(kSpec.usage));
+    EXPECT_TRUE(err_text.empty());
+  }
+}
+
+TEST(CliParser, MalformedInputFailsWithUsageOnErr) {
+  const std::vector<std::vector<const char*>> bad_lines = {
+      {"--frobnicate"},        // unknown flag
+      {"--out"},               // value flag without a value
+      {"--verbose=loud"},      // value on a boolean flag
+  };
+  for (const auto& line : bad_lines) {
+    std::string out_text;
+    std::string err_text;
+    const auto parsed = parse(kSpec, line, &out_text, &err_text);
+    EXPECT_FALSE(parsed.has_value()) << line[0];
+    EXPECT_TRUE(out_text.empty()) << line[0];
+    EXPECT_NE(err_text.find("urmem-test:"), std::string::npos) << line[0];
+    EXPECT_NE(err_text.find("usage: urmem-test"), std::string::npos) << line[0];
+  }
+}
+
+TEST(CliParser, BareArgumentsRejectedWhenNotAccepted) {
+  cli_spec strict = kSpec;
+  strict.accept_overrides = false;
+  strict.accept_positionals = false;
+  std::string err_text;
+  EXPECT_FALSE(parse(strict, {"spec.json"}, nullptr, &err_text).has_value());
+  EXPECT_NE(err_text.find("unexpected argument"), std::string::npos);
+  // Without overrides, key=value is just an (unexpected) positional.
+  EXPECT_FALSE(parse(strict, {"seed=7"}).has_value());
+
+  cli_spec positional_only = strict;
+  positional_only.accept_positionals = true;
+  const auto parsed = parse(positional_only, {"seed=7"});
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->positionals.size(), 1u);
+  EXPECT_EQ(parsed->positionals[0], "seed=7");
+}
+
+}  // namespace
+}  // namespace urmem

@@ -1,7 +1,9 @@
 // Tests for the statistics primitives (normal CDF/quantile, ECDF).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "urmem/common/stats.hpp"
@@ -108,6 +110,119 @@ TEST(EcdfTest, CdfIsMonotoneOverSupport) {
     prev = cur;
   }
   EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+
+TEST(LatencyHistogram, EmptyAndSingleSample) {
+  latency_histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+
+  h.record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 1234u);
+  // One sample is every quantile: min/max clamping pins the bucket
+  // upper bound back onto the exact value.
+  EXPECT_EQ(h.quantile(0.0), 1234u);
+  EXPECT_EQ(h.quantile(0.5), 1234u);
+  EXPECT_EQ(h.quantile(1.0), 1234u);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Values below 2^(sub_bucket_bits + 1) get unit-width buckets, so
+  // quantiles are exact, not approximate.
+  latency_histogram h;
+  for (std::uint64_t v = 0; v < 2 * latency_histogram::sub_bucket_count; ++v) {
+    h.record(v);
+    EXPECT_EQ(latency_histogram::bucket_upper(latency_histogram::bucket_index(v)),
+              v);
+  }
+  EXPECT_EQ(h.quantile(0.5), latency_histogram::sub_bucket_count - 1);
+  EXPECT_EQ(h.quantile(1.0), 2 * latency_histogram::sub_bucket_count - 1);
+}
+
+TEST(LatencyHistogram, BucketBoundsAreConsistent) {
+  // bucket_upper(bucket_index(v)) >= v, with relative error bounded by
+  // 1/sub_bucket_count — checked across the whole 64-bit range.
+  for (unsigned shift = 0; shift < 64; ++shift) {
+    for (const std::uint64_t delta : {std::uint64_t{0}, std::uint64_t{1}}) {
+      const std::uint64_t v = (std::uint64_t{1} << shift) + delta;
+      const std::size_t index = latency_histogram::bucket_index(v);
+      ASSERT_LT(index, latency_histogram::bucket_table_size);
+      const std::uint64_t upper = latency_histogram::bucket_upper(index);
+      EXPECT_GE(upper, v);
+      EXPECT_LE(static_cast<double>(upper - v),
+                static_cast<double>(v) / latency_histogram::sub_bucket_count +
+                    1.0);
+    }
+  }
+  const std::uint64_t top = ~std::uint64_t{0};
+  EXPECT_LT(latency_histogram::bucket_index(top),
+            latency_histogram::bucket_table_size);
+  EXPECT_EQ(latency_histogram::bucket_upper(latency_histogram::bucket_index(top)),
+            top);
+}
+
+TEST(LatencyHistogram, QuantileEdges) {
+  latency_histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.sum(), 500500u);
+  EXPECT_EQ(h.quantile(0.0), 1u);   // clamped to min
+  EXPECT_EQ(h.quantile(1.0), 1000u);  // clamped to max
+  // Mid quantiles land within one bucket (3.2%) of the exact value.
+  const auto near = [](std::uint64_t got, double want) {
+    return static_cast<double>(got) >= want &&
+           static_cast<double>(got) <= want * 1.04 + 1.0;
+  };
+  EXPECT_TRUE(near(h.quantile(0.5), 500.0)) << h.quantile(0.5);
+  EXPECT_TRUE(near(h.quantile(0.99), 990.0)) << h.quantile(0.99);
+  EXPECT_TRUE(near(h.quantile(0.999), 999.0)) << h.quantile(0.999);
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeAndCommutative) {
+  const auto fill = [](latency_histogram& h, std::uint64_t seed,
+                       std::uint64_t n) {
+    std::uint64_t x = seed;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      h.record(x >> 40);
+    }
+  };
+  latency_histogram a, b, c;
+  fill(a, 1, 400);
+  fill(b, 2, 300);
+  fill(c, 3, 200);
+
+  latency_histogram ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+  latency_histogram bc = b;
+  bc.merge(c);
+  latency_histogram a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_TRUE(ab_c == a_bc);
+
+  latency_histogram ba = b;
+  ba.merge(a);
+  latency_histogram ab = a;
+  ab.merge(b);
+  EXPECT_TRUE(ab == ba);
+  EXPECT_EQ(ab.count(), 700u);
+  EXPECT_EQ(ab.sum(), a.sum() + b.sum());
+  EXPECT_EQ(ab.min(), std::min(a.min(), b.min()));
+  EXPECT_EQ(ab.max(), std::max(a.max(), b.max()));
+
+  // Merging an empty histogram is the identity.
+  latency_histogram empty;
+  latency_histogram a_e = a;
+  a_e.merge(empty);
+  EXPECT_TRUE(a_e == a);
+  latency_histogram e_a = empty;
+  e_a.merge(a);
+  EXPECT_TRUE(e_a == a);
 }
 
 }  // namespace

@@ -384,6 +384,51 @@ TEST(ScenarioSpec, PcellZeroIsAFaultFreePointNotUnset) {
 
 // --------------------------------------------- parse-time sweep checks
 
+TEST(ScenarioSpec, ServeSectionRoundTripsAndValidates) {
+  const scenario_spec spec = scenario_spec::parse_text(R"({
+    "serve": {"clients": 4, "requests": 9000, "requests_per_epoch": 1000,
+              "store_percent": 30, "quality_percent": 10,
+              "initial_faults": 12, "arrivals_per_epoch": 3,
+              "intermittent_cells": 2}})");
+  EXPECT_EQ(spec.serve.clients, 4u);
+  EXPECT_EQ(spec.serve.requests, 9000u);
+  EXPECT_EQ(spec.serve.requests_per_epoch, 1000u);
+  EXPECT_EQ(spec.serve.store_percent, 30u);
+  EXPECT_EQ(spec.serve.quality_percent, 10u);
+  EXPECT_EQ(spec.serve.initial_faults, 12u);
+  const json_value first = spec.to_json();
+  EXPECT_NE(first.find("serve"), nullptr);
+  const json_value second = scenario_spec::from_json(first).to_json();
+  EXPECT_EQ(first.dump(), second.dump());
+
+  // A spec that never mentions serving must not grow a serve section.
+  const scenario_spec plain =
+      scenario_spec::parse_text(R"({"seeds": {"root": 3}})");
+  EXPECT_EQ(plain.to_json().find("serve"), nullptr);
+}
+
+TEST(ScenarioSpec, ServeSectionRejectionsNameTheField) {
+  try {
+    (void)scenario_spec::parse_text(R"({"serve": {"clients": 0}})");
+    FAIL() << "expected spec_error";
+  } catch (const spec_error& error) {
+    EXPECT_EQ(error.field(), "serve.clients");
+  }
+  try {
+    (void)scenario_spec::parse_text(
+        R"({"serve": {"store_percent": 70, "quality_percent": 40}})");
+    FAIL() << "expected spec_error";
+  } catch (const spec_error& error) {
+    EXPECT_EQ(error.field(), "serve.store_percent");
+  }
+  try {
+    (void)scenario_spec::parse_text(R"({"serve": {"reqeusts": 10}})");
+    FAIL() << "expected spec_error";
+  } catch (const spec_error& error) {
+    EXPECT_EQ(error.field(), "serve.reqeusts");
+  }
+}
+
 TEST(ScenarioSpec, SweepPathsValidateAtParseTime) {
   // A misspelled axis path fails from_json (not the first grid point).
   try {

@@ -1,0 +1,169 @@
+// Tests for the serving tier (src/serve): construction validation, the
+// concurrent determinism contract (integer counters bit-identical at
+// any client count and through the reference fault path), canonical-
+// store idempotence, live epoch stepping with deferred retirement, and
+// the closed-loop driver's accounting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "urmem/scenario/scenario_spec.hpp"
+#include "urmem/serve/memory_service.hpp"
+#include "urmem/serve/service_driver.hpp"
+
+namespace urmem {
+namespace {
+
+// Small but non-trivial: two tiles, live arrivals + intermittents,
+// scrub every epoch, remap retirement with a tiny pool.
+scenario_spec serve_spec_text() {
+  return scenario_spec::parse_text(R"({
+    "name": "serve-test",
+    "geometry": {"rows_per_tile": 256},
+    "fault": {"polarity": "flip"},
+    "seeds": {"root": 21, "app": 7},
+    "scrub": {"interval": 1},
+    "retire": {"policy": "remap", "spare_rows": 2},
+    "serve": {"clients": 2, "requests": 3000, "requests_per_epoch": 600,
+              "initial_faults": 32, "arrivals_per_epoch": 6,
+              "intermittent_cells": 4},
+    "schemes": ["none", "pecc"]})");
+}
+
+TEST(MemoryService, RejectsNonDeterministicConfigurations) {
+  // Transition faults latch write history: outcomes would depend on the
+  // store interleaving, so the service refuses them up front.
+  try {
+    memory_service service(
+        scenario_spec::parse_text(R"({"fault": {"polarity": "mixed"}})"));
+    FAIL() << "expected spec_error";
+  } catch (const spec_error& error) {
+    EXPECT_EQ(error.field(), "fault.polarity");
+  }
+  // The fault population is drawn exactly from serve.initial_faults;
+  // an operating point on the fault section has nothing to control.
+  try {
+    memory_service service(
+        scenario_spec::parse_text(R"({"fault": {"pcell": 1e-3}})"));
+    FAIL() << "expected spec_error";
+  } catch (const spec_error& error) {
+    EXPECT_EQ(error.field(), "fault");
+  }
+}
+
+TEST(MemoryService, StoresAreCanonicalAndIdempotent) {
+  memory_service service(serve_spec_text());
+  ASSERT_EQ(service.tile_count(), 2u);
+  const word_t before = service.canonical_word(17);
+  service.store(17);
+  service.store(17);
+  service.readback(17);
+  EXPECT_EQ(service.canonical_word(17), before);
+
+  const service_snapshot snap = service.stats_snapshot();
+  EXPECT_EQ(snap.stores, 2u);
+  EXPECT_EQ(snap.readbacks, 1u);
+  EXPECT_EQ(snap.requests, 3u);
+  EXPECT_EQ(snap.snapshots, 1u);
+  for (const auto& tile : snap.tiles) {
+    EXPECT_EQ(tile.traffic.stores, 2u);
+    EXPECT_EQ(tile.traffic.readbacks, 1u);
+  }
+}
+
+TEST(MemoryService, EpochSteppingAgesTilesAndDefersRetirement) {
+  memory_service service(serve_spec_text());
+  EXPECT_EQ(service.epoch(), 0u);
+  for (int i = 0; i < 4; ++i) service.step_epoch();
+  service.drain();
+  EXPECT_EQ(service.epoch(), 4u);
+
+  const service_snapshot snap = service.stats_snapshot();
+  EXPECT_EQ(snap.epoch_steps, 4u);
+  for (const auto& tile : snap.tiles) {
+    EXPECT_EQ(tile.life.epochs, 4u);
+    EXPECT_EQ(tile.life.scrub_passes, 4u);  // interval 1
+    EXPECT_EQ(tile.life.injected_faults, 4u * 6u);
+    EXPECT_EQ(tile.life.rows_scrubbed, 4u * 256u);
+  }
+}
+
+TEST(MemoryService, QualityQueryIsAPureFunctionOfTheEpoch) {
+  memory_service service(serve_spec_text());
+  service.quality_query();
+  service.quality_query();
+  const service_snapshot snap = service.stats_snapshot();
+  for (const auto& tile : snap.tiles) {
+    ASSERT_EQ(tile.traffic.quality_queries, 2u);
+    // Same epoch, same fault map: both queries saw the same residual.
+    EXPECT_EQ(tile.traffic.degraded_rows_seen % 2, 0u);
+  }
+}
+
+TEST(ServiceDriver, CountersAreClientCountInvariant) {
+  const scenario_spec spec = serve_spec_text();
+  std::string baseline;
+  for (const std::uint32_t clients : {1u, 2u, 5u}) {
+    memory_service service(spec);
+    driver_config config = driver_config_from(spec);
+    config.clients = clients;
+    const drive_report report = drive(service, config);
+    const std::string dump = report.counters.to_json().dump();
+    if (baseline.empty()) {
+      baseline = dump;
+    } else {
+      EXPECT_EQ(dump, baseline) << "clients=" << clients;
+    }
+    EXPECT_EQ(report.executed, spec.serve.requests);
+    EXPECT_EQ(report.latency.count(), report.executed);
+    EXPECT_EQ(report.counters.requests, report.executed);
+    // Boundaries strictly inside the budget: 3000/600 - 1 = 4 steps.
+    EXPECT_EQ(report.counters.epoch_steps, 4u);
+    EXPECT_GT(report.requests_per_second, 0.0);
+  }
+  EXPECT_FALSE(baseline.empty());
+}
+
+TEST(ServiceDriver, ReferenceFaultPathIsBitIdentical) {
+  const scenario_spec spec = serve_spec_text();
+  driver_config config = driver_config_from(spec);
+  config.clients = 3;
+
+  memory_service fast(spec);
+  const drive_report fast_report = drive(fast, config);
+
+  memory_service oracle(spec);
+  oracle.set_fault_path(fault_path::reference);
+  const drive_report oracle_report = drive(oracle, config);
+
+  EXPECT_EQ(fast_report.counters.to_json().dump(),
+            oracle_report.counters.to_json().dump());
+}
+
+TEST(ServiceDriver, LifecycleRunsAndDecodersFireUnderTraffic) {
+  // The scrubber must actually patrol during the run and the fault
+  // population must be dense enough that decode outcomes beyond
+  // "clean" show up — the serving tier is not a no-op shell around the
+  // batch workloads.
+  const scenario_spec spec = serve_spec_text();
+  memory_service service(spec);
+  const drive_report report = drive(service, driver_config_from(spec));
+
+  std::uint64_t scrub_passes = 0;
+  std::uint64_t decode_outcomes = 0;
+  for (const auto& tile : report.counters.tiles) {
+    scrub_passes += tile.life.scrub_passes;
+    decode_outcomes +=
+        tile.traffic.corrected_reads + tile.traffic.uncorrectable_reads +
+        tile.traffic.word_errors;
+    EXPECT_EQ(tile.traffic.clean_reads + tile.traffic.corrected_reads +
+                  tile.traffic.uncorrectable_reads,
+              tile.traffic.readbacks);
+  }
+  EXPECT_GT(scrub_passes, 0u);
+  EXPECT_GT(decode_outcomes, 0u);
+}
+
+}  // namespace
+}  // namespace urmem

@@ -16,10 +16,12 @@
 // conflicting or stale checkpoints), 1 unexpected runtime error.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "urmem/common/cli.hpp"
 #include "urmem/common/fs.hpp"
 #include "urmem/scenario/checkpoint.hpp"
 
@@ -45,24 +47,17 @@ constexpr std::string_view usage =
 int main(int argc, char** argv) {
   using namespace urmem;
 
-  std::string out_path;
-  std::vector<std::string> dirs;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
-      std::cout << usage;
-      return 0;
-    }
-    if (arg.starts_with("--out=")) {
-      out_path = arg.substr(6);
-      continue;
-    }
-    if (arg.starts_with("--")) {
-      std::cerr << "urmem-merge: unknown flag '" << arg << "'\n" << usage;
-      return 2;
-    }
-    dirs.emplace_back(arg);
-  }
+  const cli_spec cli{.tool = "urmem-merge",
+                     .usage = usage,
+                     .flags = {{"--out", true}},
+                     .accept_overrides = false,
+                     .accept_positionals = true};
+  const std::optional<cli_args> parsed =
+      parse_cli(cli, argc, argv, std::cout, std::cerr);
+  if (!parsed) return 2;
+  if (parsed->help) return 0;
+  const std::string out_path = parsed->value_or("--out");
+  const std::vector<std::string>& dirs = parsed->positionals;
   if (dirs.empty()) {
     std::cerr << "urmem-merge: no checkpoint directories given\n" << usage;
     return 2;

@@ -36,10 +36,12 @@
 // spawns), 1 unexpected runtime error.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "urmem/common/cli.hpp"
 #include "urmem/common/fs.hpp"
 #include "urmem/scenario/checkpoint.hpp"
 #include "urmem/scenario/scenario_runner.hpp"
@@ -97,65 +99,45 @@ void print_registry(const Infos& infos) {
 int main(int argc, char** argv) {
   using namespace urmem;
 
-  std::string spec_path;
-  std::string out_path;
-  std::string shard_text;
-  std::string max_points_text;
-  bool print_spec = false;
-  run_options options;
-  std::vector<std::pair<std::string, std::string>> overrides;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
-      std::cout << usage;
-      return 0;
-    }
-    if (arg == "--list-schemes") {
-      print_registry(scheme_registry::instance().list());
-      return 0;
-    }
-    if (arg == "--list-workloads") {
-      print_registry(workload_registry::instance().list());
-      return 0;
-    }
-    if (arg == "--print-spec") {
-      print_spec = true;
-      continue;
-    }
-    if (arg.starts_with("--out=")) {
-      out_path = arg.substr(6);
-      continue;
-    }
-    if (arg.starts_with("--shard=")) {
-      shard_text = arg.substr(8);
-      continue;
-    }
-    if (arg.starts_with("--checkpoint-dir=")) {
-      options.checkpoint_dir = arg.substr(17);
-      continue;
-    }
-    if (arg.starts_with("--max-points=")) {
-      max_points_text = arg.substr(13);
-      continue;
-    }
-    if (arg.starts_with("--")) {
-      std::cerr << "urmem-run: unknown flag '" << arg << "'\n" << usage;
-      return 2;
-    }
-    const std::size_t eq = arg.find('=');
-    if (eq != std::string_view::npos) {
-      overrides.emplace_back(std::string(arg.substr(0, eq)),
-                             std::string(arg.substr(eq + 1)));
-      continue;
-    }
-    if (!spec_path.empty()) {
-      std::cerr << "urmem-run: more than one spec file given ('" << spec_path
-                << "' and '" << arg << "')\n";
-      return 2;
-    }
-    spec_path = arg;
+  const cli_spec cli{.tool = "urmem-run",
+                     .usage = usage,
+                     .flags = {{"--list-schemes"},
+                               {"--list-workloads"},
+                               {"--print-spec"},
+                               {"--out", true},
+                               {"--shard", true},
+                               {"--checkpoint-dir", true},
+                               {"--max-points", true}},
+                     .accept_overrides = true,
+                     .accept_positionals = true};
+  const std::optional<cli_args> parsed =
+      parse_cli(cli, argc, argv, std::cout, std::cerr);
+  if (!parsed) return 2;
+  if (parsed->help) return 0;
+  if (parsed->has("--list-schemes")) {
+    print_registry(scheme_registry::instance().list());
+    return 0;
   }
+  if (parsed->has("--list-workloads")) {
+    print_registry(workload_registry::instance().list());
+    return 0;
+  }
+  if (parsed->positionals.size() > 1) {
+    std::cerr << "urmem-run: more than one spec file given ('"
+              << parsed->positionals[0] << "' and '" << parsed->positionals[1]
+              << "')\n";
+    return 2;
+  }
+  const std::string spec_path =
+      parsed->positionals.empty() ? std::string{} : parsed->positionals[0];
+  const std::string out_path = parsed->value_or("--out");
+  const std::string shard_text = parsed->value_or("--shard");
+  const std::string max_points_text = parsed->value_or("--max-points");
+  const bool print_spec = parsed->has("--print-spec");
+  run_options options;
+  options.checkpoint_dir = parsed->value_or("--checkpoint-dir");
+  const std::vector<std::pair<std::string, std::string>>& overrides =
+      parsed->overrides;
 
   try {
     // Flag validation precedes any spec loading or pool spawning:

@@ -21,14 +21,18 @@
 //                [--seed=S] [--max-bits=K] [--rows=N] [--max-seconds=F]
 //
 // Exit status: 0 all properties proven (and within the wall-clock
-// budget when --max-seconds is given), 1 otherwise.
+// budget when --max-seconds is given), 2 on malformed flags or values,
+// 1 on verification failure or unexpected runtime error.
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "urmem/common/cli.hpp"
+#include "urmem/scenario/options.hpp"
 #include "urmem/scenario/scenario_spec.hpp"
 #include "urmem/scenario/scheme_registry.hpp"
 #include "urmem/sim/campaign_runner.hpp"
@@ -58,17 +62,6 @@ constexpr std::string_view usage =
     "  --max-seconds=F    fail if the whole sweep exceeds F seconds\n"
     "  --help             this text\n";
 
-std::vector<std::string> split_list(std::string_view text) {
-  std::vector<std::string> parts;
-  while (!text.empty()) {
-    const std::size_t comma = text.find(',');
-    parts.emplace_back(text.substr(0, comma));
-    if (comma == std::string_view::npos) break;
-    text.remove_prefix(comma + 1);
-  }
-  return parts;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -88,49 +81,59 @@ int main(int argc, char** argv) {
   campaign_config pool_config;
   double max_seconds = 0.0;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    const auto value_of = [&](std::string_view prefix) {
-      return std::string(arg.substr(prefix.size()));
-    };
-    try {
-      if (arg == "--help" || arg == "-h") {
-        std::cout << usage;
-        return 0;
-      } else if (arg.starts_with("--schemes=")) {
-        schemes = split_list(value_of("--schemes="));
-      } else if (arg.starts_with("--widths=")) {
-        widths.clear();
-        for (const std::string& w : split_list(value_of("--widths="))) {
-          widths.push_back(static_cast<unsigned>(std::stoul(w)));
-        }
-      } else if (arg.starts_with("--max-bits=")) {
-        config.max_pattern_bits =
-            static_cast<unsigned>(std::stoul(value_of("--max-bits=")));
-      } else if (arg.starts_with("--rows=")) {
-        config.rows =
-            static_cast<std::uint32_t>(std::stoul(value_of("--rows=")));
-      } else if (arg.starts_with("--threads=")) {
-        pool_config.threads =
-            static_cast<unsigned>(std::stoul(value_of("--threads=")));
-      } else if (arg.starts_with("--seed=")) {
-        pool_config.seed = std::stoull(value_of("--seed="));
-      } else if (arg.starts_with("--max-seconds=")) {
-        max_seconds = std::stod(value_of("--max-seconds="));
-      } else {
-        std::cerr << "urmem-verify: unknown argument '" << arg << "'\n\n"
-                  << usage;
-        return 1;
-      }
-    } catch (const std::exception& error) {
-      std::cerr << "urmem-verify: bad argument '" << arg << "': "
-                << error.what() << "\n";
-      return 1;
+  const urmem::cli_spec cli{.tool = "urmem-verify",
+                            .usage = usage,
+                            .flags = {{"--schemes", true},
+                                      {"--widths", true},
+                                      {"--max-bits", true},
+                                      {"--rows", true},
+                                      {"--threads", true},
+                                      {"--seed", true},
+                                      {"--max-seconds", true}},
+                            .accept_overrides = false,
+                            .accept_positionals = false};
+  const std::optional<urmem::cli_args> parsed =
+      urmem::parse_cli(cli, argc, argv, std::cout, std::cerr);
+  if (!parsed) return 2;
+  if (parsed->help) return 0;
+  try {
+    if (parsed->has("--schemes")) {
+      schemes = urmem::split_csv(parsed->value_or("--schemes"));
     }
+    if (parsed->has("--widths")) {
+      widths.clear();
+      for (const std::string& w :
+           urmem::split_csv(parsed->value_or("--widths"))) {
+        widths.push_back(
+            static_cast<unsigned>(urmem::parse_spec_u64("widths", w)));
+      }
+    }
+    if (parsed->has("--max-bits")) {
+      config.max_pattern_bits = static_cast<unsigned>(
+          urmem::parse_spec_u64("max-bits", parsed->value_or("--max-bits")));
+    }
+    if (parsed->has("--rows")) {
+      config.rows = static_cast<std::uint32_t>(
+          urmem::parse_spec_u64("rows", parsed->value_or("--rows")));
+    }
+    if (parsed->has("--threads")) {
+      pool_config.threads = static_cast<unsigned>(
+          urmem::parse_spec_u64("threads", parsed->value_or("--threads")));
+    }
+    if (parsed->has("--seed")) {
+      pool_config.seed = urmem::parse_spec_u64("seed", parsed->value_or("--seed"));
+    }
+    if (parsed->has("--max-seconds")) {
+      max_seconds = urmem::parse_spec_double("max-seconds",
+                                             parsed->value_or("--max-seconds"));
+    }
+  } catch (const urmem::spec_error& error) {
+    std::cerr << "urmem-verify: " << error.what() << "\n";
+    return 2;
   }
   if (schemes.empty() || widths.empty()) {
     std::cerr << "urmem-verify: nothing to verify\n";
-    return 1;
+    return 2;
   }
 
   const auto start = std::chrono::steady_clock::now();
