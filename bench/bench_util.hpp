@@ -184,6 +184,8 @@ inline json_object bench_envelope(std::string_view bench_name) {
 
 /// Directory BENCH_*.json files land in: $URMEM_BENCH_JSON_DIR or cwd.
 inline std::string bench_json_dir() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): benches read the environment
+  // once from their single reporting thread; nothing calls setenv.
   const char* dir = std::getenv("URMEM_BENCH_JSON_DIR");
   return dir != nullptr && *dir != '\0' ? dir : ".";
 }

@@ -83,6 +83,14 @@ class empirical_cdf {
 /// of two splits into 32 sub-buckets, bounding the relative quantile
 /// error at 1/32 while keeping the bucket table a fixed 1920 entries.
 /// Counts, sum, min, and max are exact.
+///
+/// Thread-safety audit (no locks by design): an instance is NOT
+/// internally synchronized — record() from two threads on a shared
+/// histogram is a data race. The concurrency model is ownership:
+/// one instance per recording thread, merge() called only after those
+/// threads are joined (service_driver does exactly this). Locking the
+/// hot record() path would serialize the very tail latencies being
+/// measured.
 class latency_histogram {
  public:
   /// Sub-buckets per octave (power-of-two range).

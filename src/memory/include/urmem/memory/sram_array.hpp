@@ -29,6 +29,15 @@ enum class fault_path : std::uint8_t {
 };
 
 /// R x W bit SRAM with persistent stuck-at / flip / transition faults.
+///
+/// Thread-safety audit (no locks by design): the array itself is not
+/// synchronized — callers serialize same-row access externally (the
+/// serving tier's per-row stripe locks) and must not overlap
+/// set_faults/set_fault_path/fill with traffic (the serving tier's
+/// exclusive epoch gate guarantees that). Distinct-row reads/writes
+/// touch disjoint words_ slots and are safe. The one internally
+/// synchronized member is the relaxed atomic access counter, so the
+/// energy tally stays exact under concurrent traffic.
 class sram_array {
  public:
   /// Fault-free array of the given geometry.

@@ -26,6 +26,9 @@ void sram_array::set_faults(fault_map faults) {
 
 fault_path sram_array::default_fault_path() {
   static const fault_path path = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read exactly once, inside a
+    // magic-static initializer, before any worker thread exists; nothing
+    // in the process calls setenv.
     const char* env = std::getenv("URMEM_FAULT_PATH");
     return env != nullptr && std::string_view(env) == "reference"
                ? fault_path::reference

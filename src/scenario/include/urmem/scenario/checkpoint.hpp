@@ -35,6 +35,16 @@ namespace urmem {
 inline constexpr std::string_view checkpoint_schema = "urmem-checkpoint/1";
 
 /// Per-point checkpoint files of one campaign under one directory.
+///
+/// Thread-safety audit (no locks by design): the store is immutable
+/// after construction (two const strings), so any number of threads —
+/// and, more importantly, any number of *processes* (shards on separate
+/// machines) — may use one directory concurrently. Mutual exclusion is
+/// delegated to the filesystem: every publish is write-to-temp +
+/// atomic rename, manifests of the same spec are byte-identical so
+/// racing writers are idempotent, and readers treat a torn file as
+/// missing. A mutex here could not order cross-process writers anyway;
+/// the rename is the real synchronization point.
 class checkpoint_store {
  public:
   /// `spec_hash` is scenario_spec::canonical_hash() of the campaign the

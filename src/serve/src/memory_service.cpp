@@ -39,11 +39,24 @@ std::vector<memory_region> tile_regions(const scenario_spec& spec,
 /// deferred scrub findings of the in-flight epoch, and the relaxed
 /// atomic traffic counters (commutative sums, so any interleaving of
 /// fetch_adds totals the same).
+///
+/// `memory`, `manager` and `alive` follow the service's gate
+/// discipline — mutated only inside the exclusive boundary window
+/// (apply_boundary), read under at least the shared gate. That is
+/// expressed on the service's helpers (URMEM_REQUIRES(gate_)) rather
+/// than here, because a nested struct cannot name the owning service's
+/// gate in a member attribute. `findings` is the one member written
+/// under only the *shared* gate (the concurrent scrub pass appends),
+/// so it carries its own capability.
 struct memory_service::tile {
   std::string name;
   protected_memory memory;
   std::optional<lifecycle_manager> manager;  // built after the fault map
-  std::vector<scrub_finding> findings;       ///< deferred until the boundary
+  ts_mutex findings_mutex;
+  /// Deferred until the boundary: appended by the scrub pass (shared
+  /// gate, admin thread), spent and cleared by apply_boundary
+  /// (exclusive gate).
+  std::vector<scrub_finding> findings URMEM_GUARDED_BY(findings_mutex);
   scrub_hooks hooks;
   bool alive = true;  ///< false after fail-stop: no more aging or scrubbing
 
@@ -141,8 +154,8 @@ memory_service::memory_service(const scenario_spec& spec) {
 memory_service::~memory_service() = default;
 
 void memory_service::store(std::uint32_t row) {
-  std::shared_lock gate(gate_);
-  std::scoped_lock stripe(stripes_[row & stripe_mask_]);
+  ts_shared_lock gate(gate_);
+  ts_lock_guard stripe(stripes_[row & stripe_mask_]);
   for (const auto& entry : tiles_) {
     entry->memory.write(row, words_[row]);
     entry->stores.fetch_add(1, std::memory_order_relaxed);
@@ -150,8 +163,8 @@ void memory_service::store(std::uint32_t row) {
 }
 
 void memory_service::readback(std::uint32_t row) {
-  std::shared_lock gate(gate_);
-  std::scoped_lock stripe(stripes_[row & stripe_mask_]);
+  ts_shared_lock gate(gate_);
+  ts_lock_guard stripe(stripes_[row & stripe_mask_]);
   for (const auto& entry : tiles_) {
     const read_result result = entry->memory.read(row);
     entry->readbacks.fetch_add(1, std::memory_order_relaxed);
@@ -173,7 +186,7 @@ void memory_service::readback(std::uint32_t row) {
 }
 
 void memory_service::quality_query() {
-  std::shared_lock gate(gate_);
+  ts_shared_lock gate(gate_);
   for (const auto& entry : tiles_) {
     entry->quality_queries.fetch_add(1, std::memory_order_relaxed);
     entry->degraded_rows_seen.fetch_add(entry->memory.residual_rows(),
@@ -181,46 +194,55 @@ void memory_service::quality_query() {
   }
 }
 
-void memory_service::step_epoch() {
-  {
-    std::unique_lock gate(gate_);
-    for (const auto& entry : tiles_) {
-      if (!entry->alive) continue;
+void memory_service::apply_boundary(bool advance) {
+  for (const auto& entry : tiles_) {
+    if (!entry->alive) continue;
+    {
+      ts_lock_guard findings(entry->findings_mutex);
       if (!entry->manager->apply_findings(entry->findings)) {
         entry->alive = false;
       }
       entry->findings.clear();
-      if (entry->alive && !entry->manager->advance_epoch()) {
-        entry->alive = false;
-      }
     }
+    if (advance && entry->alive && !entry->manager->advance_epoch()) {
+      entry->alive = false;
+    }
+  }
+}
+
+void memory_service::run_due_scrubs() {
+  for (const auto& entry : tiles_) {
+    if (!entry->alive || !entry->manager->scrub_due()) continue;
+    // Lock order gate -> findings_mutex -> stripe (the pass takes row
+    // stripes through the hooks); traffic takes gate -> stripe only, so
+    // there is no cycle.
+    ts_lock_guard findings(entry->findings_mutex);
+    entry->manager->run_scrub_pass(entry->findings, &entry->hooks);
+  }
+}
+
+void memory_service::step_epoch() {
+  {
+    ts_unique_lock gate(gate_);
+    apply_boundary(/*advance=*/true);
     epoch_steps_.fetch_add(1, std::memory_order_release);
   }
   // The pass itself runs under the shared gate, concurrent with request
   // traffic; its retirements stay deferred in `findings` until the next
   // boundary (or drain()).
-  std::shared_lock gate(gate_);
-  for (const auto& entry : tiles_) {
-    if (!entry->alive || !entry->manager->scrub_due()) continue;
-    entry->manager->run_scrub_pass(entry->findings, &entry->hooks);
-  }
+  ts_shared_lock gate(gate_);
+  run_due_scrubs();
 }
 
 void memory_service::drain() {
-  std::unique_lock gate(gate_);
-  for (const auto& entry : tiles_) {
-    if (!entry->alive) continue;
-    if (!entry->manager->apply_findings(entry->findings)) {
-      entry->alive = false;
-    }
-    entry->findings.clear();
-  }
+  ts_unique_lock gate(gate_);
+  apply_boundary(/*advance=*/false);
 }
 
 service_snapshot memory_service::stats_snapshot() {
   // Exclusive: lifecycle_counters are plain integers written by the
   // concurrent scrub pass, so a snapshot must not overlap one.
-  std::unique_lock gate(gate_);
+  ts_unique_lock gate(gate_);
   service_snapshot snap;
   snap.epoch_steps = epoch_steps_.load(std::memory_order_relaxed);
   snap.snapshots = snapshots_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -250,7 +272,7 @@ service_snapshot memory_service::stats_snapshot() {
 }
 
 void memory_service::set_fault_path(fault_path path) {
-  std::unique_lock gate(gate_);
+  ts_unique_lock gate(gate_);
   for (const auto& entry : tiles_) entry->memory.set_fault_path(path);
 }
 

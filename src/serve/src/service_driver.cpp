@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "urmem/common/rng.hpp"
+#include "urmem/common/thread_safety.hpp"
 
 namespace urmem {
 
@@ -19,11 +18,11 @@ namespace {
 /// signalled at epoch-boundary crossings, so the hot path is one
 /// fetch_add per request.
 struct pacing {
-  std::mutex mutex;
-  std::condition_variable cv;
+  ts_mutex mutex;
+  ts_condition_variable cv;
   std::atomic<std::uint64_t> completed{0};
-  std::uint64_t epoch_done = 0;  ///< guarded by mutex
-  bool stop = false;             ///< guarded by mutex (deadline reached)
+  std::uint64_t epoch_done URMEM_GUARDED_BY(mutex) = 0;
+  bool stop URMEM_GUARDED_BY(mutex) = false;  ///< deadline reached
 };
 
 }  // namespace
@@ -61,15 +60,17 @@ drive_report drive(memory_service& service, const driver_config& config) {
     latency_histogram& histogram = histograms[client];
     for (std::uint64_t index = client; index < total; index += clients) {
       if (per_epoch > 0) {
-        // Wait for the service to reach this request's epoch.
+        // Wait for the service to reach this request's epoch. Manual
+        // predicate loop so the guarded reads sit in this function,
+        // where the analysis can see the held capability.
         const std::uint64_t target = index / per_epoch;
-        std::unique_lock lock(pace.mutex);
-        pace.cv.wait(lock, [&] {
-          return pace.stop || pace.epoch_done >= target;
-        });
+        ts_lock_guard lock(pace.mutex);
+        while (!pace.stop && pace.epoch_done < target) {
+          pace.cv.wait(pace.mutex);
+        }
         if (pace.stop) return;
       } else if (timed) {
-        std::unique_lock lock(pace.mutex);
+        ts_lock_guard lock(pace.mutex);
         if (pace.stop) return;
       }
 
@@ -97,7 +98,7 @@ drive_report drive(memory_service& service, const driver_config& config) {
       if (deadline_hit || done == total ||
           (per_epoch > 0 && done % per_epoch == 0)) {
         {
-          std::scoped_lock lock(pace.mutex);
+          ts_lock_guard lock(pace.mutex);
           if (deadline_hit) pace.stop = true;
         }
         pace.cv.notify_all();
@@ -113,17 +114,17 @@ drive_report drive(memory_service& service, const driver_config& config) {
         (per_epoch == 0 || total == 0) ? 0 : (total - 1) / per_epoch;
     for (std::uint64_t epoch = 1; epoch <= boundaries; ++epoch) {
       {
-        std::unique_lock lock(pace.mutex);
-        pace.cv.wait(lock, [&] {
-          return pace.stop ||
-                 pace.completed.load(std::memory_order_acquire) >=
-                     epoch * per_epoch;
-        });
+        ts_lock_guard lock(pace.mutex);
+        while (!pace.stop &&
+               pace.completed.load(std::memory_order_acquire) <
+                   epoch * per_epoch) {
+          pace.cv.wait(pace.mutex);
+        }
         if (pace.stop) return;
       }
       service.step_epoch();
       {
-        std::scoped_lock lock(pace.mutex);
+        ts_lock_guard lock(pace.mutex);
         pace.epoch_done = epoch;
       }
       pace.cv.notify_all();

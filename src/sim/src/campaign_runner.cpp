@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "urmem/common/contracts.hpp"
+#include "urmem/common/thread_safety.hpp"
 
 namespace urmem {
 
@@ -18,7 +17,10 @@ namespace {
 /// serializes owner claims against thief splits; the fields are atomic
 /// so victim-selection can snapshot backlogs without taking locks.
 struct shard {
-  std::mutex mutex;
+  ts_mutex mutex;
+  // Deliberately atomic and NOT guarded_by(mutex): victim selection
+  // snapshots them lock-free by design; claims and splits still
+  // serialize on the mutex before storing.
   std::atomic<std::uint64_t> next{0};
   std::atomic<std::uint64_t> end{0};
 };
@@ -34,20 +36,28 @@ struct campaign {
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::uint64_t> steals{0};
   std::atomic<bool> cancelled{false};
-  std::mutex error_mutex;
-  std::exception_ptr error;
+  ts_mutex error_mutex;
+  std::exception_ptr error URMEM_GUARDED_BY(error_mutex);
 
   void record_error(std::exception_ptr e) {
-    const std::scoped_lock lock(error_mutex);
+    const ts_lock_guard lock(error_mutex);
     if (!error) error = std::move(e);
     cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  /// First recorded error, if any. The workers have joined (or the pool
+  /// has quiesced) by the time run() asks, but the read still goes
+  /// through the lock so the guard is unconditional.
+  [[nodiscard]] std::exception_ptr first_error() {
+    const ts_lock_guard lock(error_mutex);
+    return error;
   }
 };
 
 /// Claims up to `batch` trials from the front of `s`.
 bool claim(shard& s, std::uint64_t batch, std::uint64_t& begin,
            std::uint64_t& end) {
-  const std::scoped_lock lock(s.mutex);
+  const ts_lock_guard lock(s.mutex);
   const std::uint64_t next = s.next.load(std::memory_order_relaxed);
   const std::uint64_t limit = s.end.load(std::memory_order_relaxed);
   if (next >= limit) return false;
@@ -83,7 +93,7 @@ bool steal(campaign& job, unsigned self) {
   std::uint64_t end = 0;
   {
     shard& v = job.shards[victim];
-    const std::scoped_lock lock(v.mutex);
+    const ts_lock_guard lock(v.mutex);
     const std::uint64_t next = v.next.load(std::memory_order_relaxed);
     const std::uint64_t limit = v.end.load(std::memory_order_relaxed);
     if (next >= limit) return false;
@@ -94,7 +104,7 @@ bool steal(campaign& job, unsigned self) {
   }
   // Only the owner refills its shard, and it is empty while stealing.
   shard& own = job.shards[self];
-  const std::scoped_lock lock(own.mutex);
+  const ts_lock_guard lock(own.mutex);
   own.next.store(begin, std::memory_order_relaxed);
   own.end.store(end, std::memory_order_relaxed);
   return true;
@@ -148,7 +158,7 @@ struct campaign_runner::pool {
 
   ~pool() {
     {
-      const std::scoped_lock lock(mutex);
+      const ts_lock_guard lock(mutex);
       stopping = true;
     }
     work_cv.notify_all();
@@ -157,14 +167,14 @@ struct campaign_runner::pool {
 
   void run(campaign& job) {
     {
-      const std::scoped_lock lock(mutex);
+      const ts_lock_guard lock(mutex);
       current = &job;
       ++generation;
       workers_done = 0;
     }
     work_cv.notify_all();
-    std::unique_lock lock(mutex);
-    done_cv.wait(lock, [this] { return workers_done == threads.size(); });
+    const ts_lock_guard lock(mutex);
+    while (workers_done != threads.size()) done_cv.wait(mutex);
     current = nullptr;
   }
 
@@ -173,28 +183,28 @@ struct campaign_runner::pool {
     for (;;) {
       campaign* job = nullptr;
       {
-        std::unique_lock lock(mutex);
-        work_cv.wait(lock, [&] { return stopping || generation != seen; });
+        const ts_lock_guard lock(mutex);
+        while (!stopping && generation == seen) work_cv.wait(mutex);
         if (stopping) return;
         seen = generation;
         job = current;
       }
       execute(*job, id);
       {
-        const std::scoped_lock lock(mutex);
+        const ts_lock_guard lock(mutex);
         if (++workers_done == threads.size()) done_cv.notify_one();
       }
     }
   }
 
-  std::mutex mutex;
-  std::condition_variable work_cv;
-  std::condition_variable done_cv;
+  ts_mutex mutex;
+  ts_condition_variable work_cv;
+  ts_condition_variable done_cv;
   std::vector<std::thread> threads;
-  campaign* current = nullptr;
-  std::uint64_t generation = 0;
-  std::size_t workers_done = 0;
-  bool stopping = false;
+  campaign* current URMEM_GUARDED_BY(mutex) = nullptr;
+  std::uint64_t generation URMEM_GUARDED_BY(mutex) = 0;
+  std::size_t workers_done URMEM_GUARDED_BY(mutex) = 0;
+  bool stopping URMEM_GUARDED_BY(mutex) = false;
 };
 
 campaign_runner::campaign_runner(campaign_config config)
@@ -245,7 +255,7 @@ void campaign_runner::run(std::uint64_t trials, const worker_trial_body& body) {
   last_stats_.trials = trials;
   last_stats_.batches = job.batches.load(std::memory_order_relaxed);
   last_stats_.steals = job.steals.load(std::memory_order_relaxed);
-  if (job.error) std::rethrow_exception(job.error);
+  if (std::exception_ptr e = job.first_error()) std::rethrow_exception(e);
 }
 
 empirical_cdf campaign_runner::map_weighted(

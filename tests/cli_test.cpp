@@ -62,6 +62,45 @@ TEST(CliParser, LastValueWinsAndFallback) {
   EXPECT_EQ(parsed->value_or("--shard", "0/1"), "0/1");
 }
 
+TEST(CliParser, NegativeNumericValuesPassThrough) {
+  // A leading '-' (not "--") is never treated as a flag, so negative
+  // numbers work both as separate-argument flag values and in
+  // overrides.
+  const auto parsed =
+      parse(kSpec, {"--shard", "-3", "--out=-1e-6", "margin=-7"});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->value_or("--shard"), "-3");
+  EXPECT_EQ(parsed->value_or("--out"), "-1e-6");
+  ASSERT_EQ(parsed->overrides.size(), 1u);
+  EXPECT_EQ(parsed->overrides[0].second, "-7");
+}
+
+TEST(CliParser, RepeatedFlagsLastWinsAcrossBothForms) {
+  // Pinned behavior: repeating a value flag is not an error; the last
+  // occurrence wins regardless of the "=value" / separate-argument
+  // spelling, and repeating a boolean flag stays a single `seen` entry.
+  const auto parsed = parse(
+      kSpec, {"--out=a.json", "--out", "b.json", "--out=c.json", "--verbose",
+              "--verbose"});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->value_or("--out"), "c.json");
+  EXPECT_TRUE(parsed->has("--verbose"));
+
+  const auto swapped = parse(kSpec, {"--out=c.json", "--out", "a.json"});
+  ASSERT_TRUE(swapped.has_value());
+  EXPECT_EQ(swapped->value_or("--out"), "a.json");
+}
+
+TEST(CliParser, EqualsWithEmptyValueIsAccepted) {
+  // Pinned behavior: "--out=" is an explicit empty value (it counts as
+  // seen and overrides value_or's fallback) — distinct from "--out"
+  // with no value at all, which is an error.
+  const auto parsed = parse(kSpec, {"--out="});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->has("--out"));
+  EXPECT_EQ(parsed->value_or("--out", "fallback"), "");
+}
+
 TEST(CliParser, HelpPrintsUsageToOut) {
   for (const char* flag : {"--help", "-h"}) {
     std::string out_text;

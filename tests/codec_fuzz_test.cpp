@@ -68,6 +68,8 @@ std::string random_tiered_spec(std::uint32_t rows, rng& gen) {
 }
 
 std::uint64_t fuzz_iterations() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded test setup;
+  // gtest runs the body after main() and nothing calls setenv.
   if (const char* env = std::getenv("URMEM_FUZZ_ITERS")) {
     return std::strtoull(env, nullptr, 10);
   }

@@ -225,5 +225,90 @@ TEST(LatencyHistogram, MergeIsAssociativeAndCommutative) {
   EXPECT_TRUE(e_a == a);
 }
 
+TEST(LatencyHistogram, MergeOfTwoEmptiesStaysEmpty) {
+  latency_histogram a;
+  latency_histogram b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+  EXPECT_EQ(a.quantile(0.999), 0u);
+  EXPECT_TRUE(a == latency_histogram{});
+}
+
+TEST(LatencyHistogram, SaturatingTopBucket) {
+  // The table's last bucket absorbs the top of the uint64 range instead
+  // of overflowing the index.
+  const std::uint64_t top = ~std::uint64_t{0};
+  EXPECT_EQ(latency_histogram::bucket_index(top),
+            latency_histogram::bucket_table_size - 1);
+  EXPECT_EQ(latency_histogram::bucket_upper(
+                latency_histogram::bucket_table_size - 1),
+            top);
+
+  latency_histogram h;
+  h.record(top);
+  h.record(top - 1);  // same saturating bucket
+  EXPECT_EQ(latency_histogram::bucket_index(top - 1),
+            latency_histogram::bucket_index(top));
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), top - 1);
+  EXPECT_EQ(h.max(), top);
+  // Both samples share one bucket whose upper bound clamps to max.
+  EXPECT_EQ(h.quantile(0.5), top);
+  EXPECT_EQ(h.quantile(1.0), top);
+  // sum() is documented to wrap modulo 2^64: (2^64-1) + (2^64-2).
+  EXPECT_EQ(h.sum(), top - 2);
+}
+
+TEST(LatencyHistogram, QuantileAtExactBucketBoundaries) {
+  // 63 is the last exact unit bucket; 64 opens the first sub-bucketed
+  // octave (width-2 buckets for sub_bucket_bits=5). Samples placed
+  // exactly on bucket upper bounds make quantiles exact, so the
+  // boundary arithmetic has nowhere to hide.
+  const std::uint64_t edge = 2 * latency_histogram::sub_bucket_count;  // 64
+  ASSERT_NE(latency_histogram::bucket_index(edge - 1),
+            latency_histogram::bucket_index(edge));
+  EXPECT_EQ(latency_histogram::bucket_upper(
+                latency_histogram::bucket_index(edge - 1)),
+            edge - 1);
+
+  latency_histogram h;
+  h.record(edge - 1);
+  h.record(edge);
+  // rank ceil(0.5 * 2) = 1 -> the exact bucket of 63; rank 2 -> the
+  // first sub-bucketed bucket, whose upper bound clamps back to 64.
+  EXPECT_EQ(h.quantile(0.5), edge - 1);
+  EXPECT_EQ(h.quantile(0.51), edge);
+  EXPECT_EQ(h.quantile(1.0), edge);
+
+  // A run of samples on consecutive bucket upper bounds stays exact at
+  // every boundary quantile.
+  latency_histogram exact;
+  std::vector<std::uint64_t> uppers;
+  for (std::size_t index = 100; index < 110; ++index) {
+    const std::uint64_t upper = latency_histogram::bucket_upper(index);
+    uppers.push_back(upper);
+    exact.record(upper);
+  }
+  const auto n = static_cast<double>(uppers.size());
+  for (std::size_t i = 0; i < uppers.size(); ++i) {
+    // q chosen so ceil(q * n) == i + 1 exactly.
+    const double q = (static_cast<double>(i) + 1.0) / n;
+    EXPECT_EQ(exact.quantile(q), uppers[i]) << "i=" << i;
+  }
+}
+
+TEST(LatencyHistogram, SingleSampleTailQuantiles) {
+  // A 1-sample histogram reports that sample at every tail quantile —
+  // the serve report prints p99.9 even for tiny smoke runs.
+  latency_histogram h;
+  h.record(123456789);
+  EXPECT_EQ(h.quantile(0.999), 123456789u);
+  EXPECT_EQ(h.quantile(0.9999), 123456789u);
+  EXPECT_EQ(h.quantile(0.001), 123456789u);
+  EXPECT_DOUBLE_EQ(h.mean(), 123456789.0);
+}
+
 }  // namespace
 }  // namespace urmem

@@ -1,0 +1,395 @@
+#!/usr/bin/env python3
+"""urmem-lint: reject nondeterminism sources the goldens cannot survive.
+
+Every quality number in this repo is cross-checked by byte-diffing
+reports: goldens in CI, sharded-merge vs unsharded runs, serve counters
+at different client counts. That only works while outputs are pure
+functions of (spec, seeds), so the sources of hidden nondeterminism are
+banned from `src/` and `tools/` outright:
+
+  rand            C rand()/srand() — unseeded global state
+  random-device   std::random_device — hardware entropy
+  wall-clock      system_clock / time(nullptr) — wall-clock values leak
+                  into results (steady_clock for *durations* is fine and
+                  not matched)
+  build-stamp     __DATE__ / __TIME__ / __TIMESTAMP__ — rebuilds change
+                  the binary's output
+  unordered-iter  iterating std::unordered_{map,set} in a function that
+                  writes to a stream — hash order is
+                  implementation-defined, so report text would depend on
+                  the standard library
+
+Intentional exceptions live in the allowlist file next to this script
+(`urmem_lint_allow.txt`, lines of `<rule> <path-glob>`); each entry
+carries a comment saying why it is safe. `--self-test` runs the canary:
+seeded violations that must be caught, and a clean file that must not
+be, so CI proves the linter actually bites before trusting a green run.
+
+Exit status: 0 clean, 1 findings, 2 usage/self-test failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".inl"}
+SCAN_DIRS = ("src", "tools")
+
+# Simple line rules: (rule id, compiled regex, human reason).
+LINE_RULES = [
+    (
+        "rand",
+        re.compile(r"\b(?:std::)?s?rand\s*\("),
+        "C rand()/srand() is unseeded global state; use urmem::rng streams",
+    ),
+    (
+        "random-device",
+        re.compile(r"\brandom_device\b"),
+        "hardware entropy breaks replayability; derive from seeds.root",
+    ),
+    (
+        "wall-clock",
+        re.compile(r"\bsystem_clock\b|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+        "wall-clock values leak into results; steady_clock durations only",
+    ),
+    (
+        "build-stamp",
+        re.compile(r"__DATE__|__TIME__|__TIMESTAMP__"),
+        "build stamps make output depend on when the binary was compiled",
+    ),
+]
+
+UNORDERED_RULE = "unordered-iter"
+
+UNORDERED_DECL = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*"
+    r"&?\s*(\w+)\s*[;({=\[]"
+)
+
+STREAM_WRITE = re.compile(
+    r"(?:\bstd\s*::\s*(?:cout|cerr|clog)\b|\b(?:os|out|err|oss|stream)\b)\s*<<"
+)
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, excerpt: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.excerpt = excerpt
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.excerpt.strip()}"
+
+
+def mask_code(text: str) -> str:
+    """Blanks comments and string/char literals, preserving offsets.
+
+    Keeps every newline so line numbers survive; every other masked
+    character becomes a space so regexes cannot match into or across
+    literals and comments.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                # Raw strings R"tag(...)tag" need their own delimiter scan.
+                if out and out[-1] == "R" and (len(out) < 2 or not out[-2].isalnum()):
+                    m = re.match(r'"([^(]*)\(', text[i:])
+                    if m:
+                        closer = ")" + m.group(1) + '"'
+                        end = text.find(closer, i + m.end())
+                        end = n if end < 0 else end + len(closer)
+                        span = text[i:end]
+                        out.append("".join(ch if ch == "\n" else " " for ch in span))
+                        i = end
+                        continue
+                mode = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                mode = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif (mode == "string" and c == '"') or (mode == "char" and c == "'"):
+                mode = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def function_bodies(masked: str):
+    """Yields (open, close) offsets of top-level function-ish bodies.
+
+    A block counts as a function body when the last interesting token
+    before its `{` is `)` or a trailing-specifier that follows one
+    (const/noexcept/override/final/-> ret). Namespace/class/enum blocks
+    fail that test and are recursed into instead, so bodies nested in
+    namespaces are still found; lambdas inside a body stay part of it.
+    """
+    opens = []
+    pairs = {}
+    for i, c in enumerate(masked):
+        if c == "{":
+            opens.append(i)
+        elif c == "}" and opens:
+            pairs[opens.pop()] = i
+
+    specifier = re.compile(
+        r"(?:\)|const|noexcept|override|final|mutable|&&?|->\s*[\w:<>,\s*&]+)\s*$"
+    )
+
+    def is_function_open(pos: int) -> bool:
+        before = masked[max(0, pos - 160) : pos]
+        return bool(specifier.search(before.rstrip()))
+
+    def walk(start: int, end: int):
+        i = start
+        while i < end:
+            if masked[i] == "{" and i in pairs:
+                close = pairs[i]
+                if is_function_open(i):
+                    yield (i, close)
+                else:
+                    yield from walk(i + 1, close)
+                i = close + 1
+            else:
+                i += 1
+
+    yield from walk(0, len(masked))
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def scan_text(rel_path: str, text: str):
+    masked = mask_code(text)
+    raw_lines = text.splitlines()
+    findings = []
+
+    for lineno, line in enumerate(masked.splitlines(), start=1):
+        for rule, pattern, _reason in LINE_RULES:
+            if pattern.search(line):
+                excerpt = raw_lines[lineno - 1] if lineno <= len(raw_lines) else line
+                findings.append(Finding(rel_path, lineno, rule, excerpt))
+
+    unordered_names = set(UNORDERED_DECL.findall(masked))
+    if unordered_names:
+        iter_pattern = re.compile(
+            r"for\s*\([^;()]*?:\s*(?:[\w.\->]+\.)?("
+            + "|".join(re.escape(name) for name in sorted(unordered_names))
+            + r")\s*\)"
+        )
+        for open_pos, close_pos in function_bodies(masked):
+            body = masked[open_pos : close_pos + 1]
+            if not STREAM_WRITE.search(body):
+                continue
+            for m in iter_pattern.finditer(body):
+                lineno = line_of(masked, open_pos + m.start())
+                excerpt = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+                findings.append(Finding(rel_path, lineno, UNORDERED_RULE, excerpt))
+    return findings
+
+
+def load_allowlist(path: Path):
+    entries = []
+    if not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise SystemExit(
+                f"{path}:{lineno}: allowlist lines are '<rule> <path-glob>'"
+            )
+        entries.append((parts[0], parts[1]))
+    return entries
+
+
+def allowed(finding: Finding, allowlist) -> bool:
+    return any(
+        rule == finding.rule and fnmatch.fnmatch(finding.path, glob)
+        for rule, glob in allowlist
+    )
+
+
+def scan_tree(root: Path, allowlist):
+    findings = []
+    for scan_dir in SCAN_DIRS:
+        base = root / scan_dir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(root).as_posix()
+            text = path.read_text(encoding="utf-8", errors="replace")
+            findings.extend(
+                f for f in scan_text(rel, text) if not allowed(f, allowlist)
+            )
+    return findings
+
+
+# --------------------------------------------------------------- self-test
+
+CANARY_BAD_RANDOM = """
+#include <random>
+unsigned draw_seed() {
+  std::random_device device;  // nondeterministic on purpose: must be caught
+  return device();
+}
+"""
+
+CANARY_BAD_UNORDERED = """
+#include <ostream>
+#include <string>
+#include <unordered_map>
+void dump(std::ostream& os) {
+  std::unordered_map<std::string, int> counts;
+  counts["a"] = 1;
+  for (const auto& entry : counts) {
+    os << entry.first << '=' << entry.second << '\\n';
+  }
+}
+"""
+
+CANARY_BAD_MISC = """
+#include <cstdlib>
+#include <ctime>
+int jitter() { return rand() + static_cast<int>(time(nullptr)); }
+const char* built_at() { return __DATE__ " " __TIME__; }
+"""
+
+CANARY_CLEAN = """
+// rand(), std::random_device and __DATE__ in comments must not fire.
+#include <chrono>
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_set>
+static const char* kDoc = "call rand() or use std::random_device";
+void report(std::ostream& os) {
+  std::map<std::string, int> ordered{{"a", 1}};
+  for (const auto& entry : ordered) os << entry.first << entry.second;
+}
+long tick() {
+  std::unordered_set<int> seen{1, 2, 3};  // iterated, but never streamed
+  long total = 0;
+  for (int v : seen) total += v;
+  return total + kDoc[0] +
+         std::chrono::steady_clock::now().time_since_epoch().count();
+}
+"""
+
+
+def self_test() -> int:
+    expected = {
+        ("src/bad_random.cpp", "random-device"),
+        ("src/bad_unordered.cpp", "unordered-iter"),
+        ("src/bad_misc.cpp", "rand"),
+        ("src/bad_misc.cpp", "wall-clock"),
+        ("src/bad_misc.cpp", "build-stamp"),
+    }
+    with tempfile.TemporaryDirectory(prefix="urmem_lint_canary_") as tmp:
+        root = Path(tmp)
+        (root / "src").mkdir()
+        (root / "src" / "bad_random.cpp").write_text(CANARY_BAD_RANDOM)
+        (root / "src" / "bad_unordered.cpp").write_text(CANARY_BAD_UNORDERED)
+        (root / "src" / "bad_misc.cpp").write_text(CANARY_BAD_MISC)
+        (root / "src" / "clean.cpp").write_text(CANARY_CLEAN)
+        got = {(f.path, f.rule) for f in scan_tree(root, allowlist=[])}
+    if got == expected:
+        print(f"urmem-lint self-test OK: {len(expected)} seeded violations caught, "
+              "clean file passed")
+        return 0
+    for missing in sorted(expected - got):
+        print(f"urmem-lint self-test FAILED: did not catch {missing}", file=sys.stderr)
+    for extra in sorted(got - expected):
+        print(f"urmem-lint self-test FAILED: false positive {extra}", file=sys.stderr)
+    return 2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_root = Path(__file__).resolve().parent.parent.parent
+    parser.add_argument("--root", type=Path, default=default_root,
+                        help="repository root (default: two dirs up)")
+    parser.add_argument("--allowlist", type=Path, default=None,
+                        help="allowlist file (default: urmem_lint_allow.txt "
+                             "next to this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the canary: seeded violations must be caught")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    allowlist_path = args.allowlist or Path(__file__).resolve().parent / "urmem_lint_allow.txt"
+    allowlist = load_allowlist(allowlist_path)
+    findings = scan_tree(args.root.resolve(), allowlist)
+    if findings:
+        reasons = {rule: reason for rule, _p, reason in
+                   [(r, p, reason) for r, p, reason in LINE_RULES]}
+        reasons[UNORDERED_RULE] = (
+            "unordered-container iteration order is implementation-defined; "
+            "fold into an ordered container before writing reports"
+        )
+        for finding in findings:
+            print(finding, file=sys.stderr)
+            print(f"    why banned: {reasons[finding.rule]}", file=sys.stderr)
+        print(f"urmem-lint: {len(findings)} finding(s). Intentional uses need an "
+              f"entry in {allowlist_path.name} with a justifying comment.",
+              file=sys.stderr)
+        return 1
+    print("urmem-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
